@@ -1,0 +1,66 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every ``bench_*`` module reproduces one artifact of the paper's
+evaluation (see DESIGN.md's experiment index) and reports its measured
+table next to the paper's reported numbers. Results are printed and
+persisted under ``bench_results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "bench_results")
+
+#: The five algorithms in the paper's presentation order.
+ALGORITHM_ORDER = ("LERFA+SRFE", "SRFAE", "LS", "SA", "RANDOM")
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width text table."""
+    materialized: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        materialized.append([
+            f"{cell:.2f}" if isinstance(cell, float) else str(cell)
+            for cell in row
+        ])
+    widths = [max(len(line[i]) for line in materialized)
+              for i in range(len(headers))]
+    lines = []
+    for index, line in enumerate(materialized):
+        lines.append("  ".join(cell.rjust(width)
+                               for cell, width in zip(line, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def record(name: str, title: str, body: str) -> str:
+    """Print a result block and persist it under bench_results/."""
+    text = f"== {title} ==\n{body}\n"
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text)
+    return text
+
+
+def scheduler_factories(sa_parameters=None):
+    """Fresh factories of the five evaluated algorithms."""
+    from repro.scheduling import (
+        LerfaSrfeScheduler,
+        ListScheduler,
+        RandomScheduler,
+        SimulatedAnnealingScheduler,
+        SrfaeScheduler,
+    )
+    return {
+        "LERFA+SRFE": lambda seed: LerfaSrfeScheduler(seed),
+        "SRFAE": lambda seed: SrfaeScheduler(seed),
+        "LS": lambda seed: ListScheduler(seed),
+        "SA": lambda seed: SimulatedAnnealingScheduler(
+            seed, parameters=sa_parameters),
+        "RANDOM": lambda seed: RandomScheduler(seed),
+    }

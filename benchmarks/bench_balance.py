@@ -1,0 +1,71 @@
+"""E8 (extension) — workload balance and device utilization.
+
+Not a paper figure, but the paper's stated *objective*: "our goal is to
+balance the action workload on all available devices and improve device
+utilization" (Section 5.1). This bench quantifies how well each
+algorithm meets that goal on the Figure 4 workload: the coefficient of
+variation of per-device completion times (0 = perfectly balanced) and
+the mean device utilization.
+"""
+
+import pytest
+
+from repro.scheduling import (
+    device_utilization,
+    uniform_camera_workload,
+    workload_balance,
+)
+
+from _common import ALGORITHM_ORDER, format_table, record, scheduler_factories
+
+RUNS = 10
+N_REQUESTS = 20
+N_DEVICES = 10
+
+
+def run_experiment():
+    factories = scheduler_factories()
+    results = {}
+    problems = [uniform_camera_workload(N_REQUESTS, N_DEVICES, seed=seed)
+                for seed in range(RUNS)]
+    for name in ALGORITHM_ORDER:
+        balance = utilization = 0.0
+        for seed, problem in enumerate(problems):
+            schedule = factories[name](seed).schedule(problem)
+            balance += workload_balance(problem, schedule)
+            per_device = device_utilization(problem, schedule)
+            utilization += sum(per_device.values()) / len(per_device)
+        results[name] = (balance / RUNS, utilization / RUNS)
+    return results
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_experiment()
+
+
+def test_balance_reproduction(results, benchmark):
+    rows = [[name, results[name][0], f"{results[name][1]:.0%}"]
+            for name in ALGORITHM_ORDER]
+    table = format_table(
+        ["algorithm", "imbalance (CV, lower=better)", "mean utilization"],
+        rows)
+    record("balance",
+           "E8: workload balance and utilization on the Figure 4 "
+           f"workload (n={N_REQUESTS}, m={N_DEVICES}, avg of {RUNS})",
+           table)
+    problem = uniform_camera_workload(N_REQUESTS, N_DEVICES, seed=0)
+    factory = scheduler_factories()["SRFAE"]
+    benchmark.pedantic(
+        lambda: workload_balance(problem, factory(0).schedule(problem)),
+        rounds=3, iterations=1)
+
+
+def test_proposed_balance_better_than_random(results):
+    for name in ("LERFA+SRFE", "SRFAE"):
+        assert results[name][0] < results["RANDOM"][0]
+
+
+def test_proposed_utilization_higher_than_random(results):
+    for name in ("LERFA+SRFE", "SRFAE"):
+        assert results[name][1] > results["RANDOM"][1]

@@ -1,0 +1,96 @@
+"""E2 — Figure 4: makespan of five algorithms, uniform workload.
+
+Paper setup: 10 cameras; 10/20/30 requests; every camera a candidate
+for every request; request cost ~ U[0.36, 5.36] s (the photo() range);
+each point averages 10 independent runs; makespan = scheduling time +
+service time.
+
+Paper findings the shape check asserts:
+* RANDOM is much worse than the other four;
+* the proposed LERFA+SRFE and SRFAE beat LS and SA by ~20-40%;
+* the proposed algorithms scale sub-linearly in n, LS/SA near-linearly.
+"""
+
+import pytest
+
+from repro.scheduling import total_makespan, uniform_camera_workload
+
+from _common import ALGORITHM_ORDER, format_table, record, scheduler_factories
+
+RUNS = 10
+N_DEVICES = 10
+REQUEST_COUNTS = (10, 20, 30)
+
+#: Paper-reported makespans at n=20 (Section 6.3 text; RANDOM from the
+#: Figure 5 breakdown: 0.0 + 14.95).
+PAPER_N20 = {"LERFA+SRFE": 5.73, "SRFAE": 5.18, "LS": 8.21, "SA": 7.29,
+             "RANDOM": 14.95}
+
+
+def run_experiment():
+    factories = scheduler_factories()
+    makespans = {name: {} for name in ALGORITHM_ORDER}
+    for n_requests in REQUEST_COUNTS:
+        problems = [uniform_camera_workload(n_requests, N_DEVICES, seed=seed)
+                    for seed in range(RUNS)]
+        for name in ALGORITHM_ORDER:
+            total = 0.0
+            for seed, problem in enumerate(problems):
+                schedule = factories[name](seed).schedule(problem)
+                total += total_makespan(problem, schedule)
+            makespans[name][n_requests] = total / RUNS
+    return makespans
+
+
+@pytest.fixture(scope="module")
+def makespans():
+    return run_experiment()
+
+
+def test_figure4_reproduction(makespans, benchmark):
+    rows = []
+    for name in ALGORITHM_ORDER:
+        row = [name]
+        row.extend(makespans[name][n] for n in REQUEST_COUNTS)
+        row.append(PAPER_N20[name])
+        rows.append(row)
+    table = format_table(
+        ["algorithm", "n=10 (s)", "n=20 (s)", "n=30 (s)",
+         "paper n=20 (s)"], rows)
+    record("fig4_uniform",
+           "Figure 4: makespan vs #requests, uniform workload "
+           f"(10 cameras, avg of {RUNS} runs)", table)
+
+    # One representative scheduling call for pytest-benchmark stats.
+    problem = uniform_camera_workload(20, N_DEVICES, seed=0)
+    scheduler = scheduler_factories()["SRFAE"](0)
+    benchmark.pedantic(lambda: scheduler.schedule(problem),
+                       rounds=3, iterations=1)
+
+
+def test_random_is_worst(makespans):
+    for n in REQUEST_COUNTS:
+        for name in ("LERFA+SRFE", "SRFAE", "LS"):
+            assert makespans["RANDOM"][n] > makespans[name][n]
+
+
+def test_proposed_beat_ls_by_paper_margin(makespans):
+    """Paper: proposed algorithms outperform LS and SA by ~20-40%."""
+    for n in REQUEST_COUNTS:
+        for proposed in ("LERFA+SRFE", "SRFAE"):
+            improvement = 1 - makespans[proposed][n] / makespans["LS"][n]
+            assert improvement > 0.10, (
+                f"{proposed} improved on LS by only "
+                f"{improvement:.0%} at n={n}"
+            )
+
+
+def test_proposed_scale_sublinearly(makespans):
+    """Tripling n (10 -> 30) should less-than-triple proposed makespans
+    while LS grows near-linearly (paper's scalability observation)."""
+    for proposed in ("LERFA+SRFE", "SRFAE"):
+        growth = makespans[proposed][30] / makespans[proposed][10]
+        assert growth < 3.0
+    ls_growth = makespans["LS"][30] / makespans["LS"][10]
+    srfae_growth = makespans["SRFAE"][30] / makespans["SRFAE"][10]
+    assert srfae_growth < ls_growth + 0.5

@@ -1,0 +1,88 @@
+"""E5 — Section 6.3 in-text claim: only n/m matters under uniformity.
+
+"The results show that with a uniformly distributed workload, the
+performance of the four scheduling algorithms (except for RANDOM) was
+only affected by the average number of requests scheduled on each
+device (i.e., #requests / #devices)."
+
+We sweep (n, m) pairs at fixed ratios and check that each non-random
+algorithm's *service* makespan stays roughly constant along a ratio
+(SA is compared on service time; its scheduling time obviously grows
+with n).
+"""
+
+import pytest
+
+from repro.scheduling import SAParameters, service_makespan, uniform_camera_workload
+
+from _common import format_table, record, scheduler_factories
+
+RUNS = 8
+#: (ratio, [(n, m), ...]) sweeps.
+SWEEPS = (
+    (2.0, [(8, 4), (16, 8), (24, 12)]),
+    (3.0, [(9, 3), (18, 6), (27, 9)]),
+)
+#: Lighter SA so the sweep stays fast; service quality is unaffected.
+FAST_SA = SAParameters(moves_per_temperature_per_request=15, cooling=0.9)
+
+ALGORITHMS = ("LERFA+SRFE", "SRFAE", "LS", "SA")
+
+
+def run_experiment():
+    factories = scheduler_factories(sa_parameters=FAST_SA)
+    results = {}
+    for ratio, sizes in SWEEPS:
+        for n, m in sizes:
+            for name in ALGORITHMS:
+                total = 0.0
+                for seed in range(RUNS):
+                    problem = uniform_camera_workload(n, m, seed=seed)
+                    schedule = factories[name](seed).schedule(problem)
+                    total += service_makespan(problem, schedule)
+                results[(name, ratio, n, m)] = total / RUNS
+    return results
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_experiment()
+
+
+def test_ratio_invariance_reproduction(results, benchmark):
+    rows = []
+    for ratio, sizes in SWEEPS:
+        for name in ALGORITHMS:
+            row = [name, ratio]
+            row.extend(results[(name, ratio, n, m)] for n, m in sizes)
+            rows.append(row)
+    headers = ["algorithm", "n/m"] + [
+        f"({n},{m})" for _, sizes in SWEEPS for n, m in sizes][:3]
+    table = format_table(headers, rows)
+    record("ratio_invariance",
+           "Section 6.3: service makespan at fixed #requests/#devices "
+           f"(avg of {RUNS} runs)", table)
+
+    problem = uniform_camera_workload(16, 8, seed=0)
+    scheduler = scheduler_factories()["LERFA+SRFE"](0)
+    benchmark.pedantic(lambda: scheduler.schedule(problem),
+                       rounds=3, iterations=1)
+
+
+def test_makespan_constant_along_ratio(results):
+    """Along one ratio, makespans vary far less than across ratios."""
+    for name in ALGORITHMS:
+        for ratio, sizes in SWEEPS:
+            values = [results[(name, ratio, n, m)] for n, m in sizes]
+            spread = max(values) - min(values)
+            assert spread < 0.45 * min(values), (
+                f"{name} at ratio {ratio}: {values}"
+            )
+
+
+def test_higher_ratio_means_higher_makespan(results):
+    """Across ratios the load per device, and thus makespan, grows."""
+    for name in ALGORITHMS:
+        low = min(results[(name, 2.0, n, m)] for n, m in SWEEPS[0][1])
+        high = max(results[(name, 3.0, n, m)] for n, m in SWEEPS[1][1])
+        assert high > low

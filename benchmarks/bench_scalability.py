@@ -1,0 +1,86 @@
+"""E10 (extension) — scaling toward "a large number of devices".
+
+The paper's future work targets "scheduling techniques for a large
+number of heterogeneous devices"; its evaluation stops at 30 requests
+on 10 cameras. This bench pushes the greedy algorithms an order of
+magnitude further and checks that the paper's two requirements keep
+holding: (a) scheduling time stays real-time (Section 5.1), and (b) the
+proposed algorithms' makespan advantage over LS persists.
+
+SA is excluded: its scheduling time is already the bottleneck at n=20
+(Figure 5), which is precisely why the paper proposed the greedy
+algorithms.
+"""
+
+import pytest
+
+from repro.scheduling import breakdown, uniform_camera_workload
+
+from _common import format_table, record, scheduler_factories
+
+RUNS = 5
+#: (n requests, m devices) at a fixed ratio of 4 requests per device.
+SIZES = ((20, 5), (80, 20), (200, 50), (400, 100))
+ALGORITHMS = ("LERFA+SRFE", "SRFAE", "LS")
+
+
+def run_experiment():
+    factories = scheduler_factories()
+    results = {}
+    for n, m in SIZES:
+        for name in ALGORITHMS:
+            scheduling = service = 0.0
+            for seed in range(RUNS):
+                problem = uniform_camera_workload(n, m, seed=seed)
+                result = breakdown(problem,
+                                   factories[name](seed).schedule(problem))
+                scheduling += result.scheduling_seconds
+                service += result.service_seconds
+            results[(name, n, m)] = (scheduling / RUNS, service / RUNS)
+    return results
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_experiment()
+
+
+def test_scalability_reproduction(results, benchmark):
+    rows = []
+    for name in ALGORITHMS:
+        for n, m in SIZES:
+            scheduling, service = results[(name, n, m)]
+            rows.append([name, f"({n},{m})", f"{scheduling:.4f}",
+                         service])
+    table = format_table(
+        ["algorithm", "(n,m)", "sched (s)", "service (s)"], rows)
+    record("scalability",
+           f"E10: scaling at 4 requests/device (avg of {RUNS} runs)",
+           table)
+    problem = uniform_camera_workload(200, 50, seed=0)
+    factory = scheduler_factories()["LERFA+SRFE"]
+    benchmark.pedantic(lambda: factory(0).schedule(problem),
+                       rounds=3, iterations=1)
+
+
+def test_scheduling_stays_real_time(results):
+    """Even at 400 requests on 100 devices, scheduling is sub-5s —
+    the Section 5.1 real-time requirement at 13x the paper's scale."""
+    for name in ALGORITHMS:
+        scheduling, _ = results[(name, 400, 100)]
+        assert scheduling < 5.0, f"{name}: {scheduling:.2f}s"
+
+
+def test_proposed_advantage_persists_at_scale(results):
+    for n, m in SIZES:
+        ls_service = results[("LS", n, m)][1]
+        assert results[("SRFAE", n, m)][1] < ls_service
+        assert results[("LERFA+SRFE", n, m)][1] < ls_service
+
+
+def test_service_roughly_flat_at_fixed_ratio(results):
+    """Fixed n/m keeps the uniform-workload makespan roughly constant
+    (E5's law, extrapolated to 10x the scale)."""
+    for name in ALGORITHMS:
+        services = [results[(name, n, m)][1] for n, m in SIZES]
+        assert max(services) < 2.0 * min(services)

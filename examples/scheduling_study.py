@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Standalone scheduling study: the paper's Section 6.3 in one script.
+
+Runs the five algorithms on uniform and skewed synthetic camera
+workloads and prints makespans plus the scheduling/service time
+breakdown, mirroring Figures 4-6.
+
+Run:  python examples/scheduling_study.py  [--runs N] [--fast]
+"""
+
+import argparse
+
+from repro.scheduling import (
+    LerfaSrfeScheduler,
+    ListScheduler,
+    RandomScheduler,
+    SAParameters,
+    SimulatedAnnealingScheduler,
+    SrfaeScheduler,
+    breakdown,
+    skewed_camera_workload,
+    uniform_camera_workload,
+)
+
+FAST_SA = SAParameters(moves_per_temperature_per_request=8, cooling=0.9)
+
+
+def algorithm_factories(fast: bool):
+    sa_params = FAST_SA if fast else None
+    return [
+        ("LERFA+SRFE", lambda seed: LerfaSrfeScheduler(seed)),
+        ("SRFAE", lambda seed: SrfaeScheduler(seed)),
+        ("LS", lambda seed: ListScheduler(seed)),
+        ("SA", lambda seed: SimulatedAnnealingScheduler(
+            seed, parameters=sa_params)),
+        ("RANDOM", lambda seed: RandomScheduler(seed)),
+    ]
+
+
+def run_workloads(problems, factories):
+    """Average (scheduling, service, total) seconds per algorithm."""
+    rows = []
+    for name, factory in factories:
+        scheduling = service = 0.0
+        for seed, problem in enumerate(problems):
+            result = breakdown(problem, factory(seed).schedule(problem))
+            scheduling += result.scheduling_seconds
+            service += result.service_seconds
+        count = len(problems)
+        rows.append((name, scheduling / count, service / count,
+                     (scheduling + service) / count))
+    return rows
+
+
+def print_table(title, rows):
+    print(f"\n{title}")
+    print(f"  {'algorithm':12s} {'sched (s)':>10s} {'service (s)':>12s} "
+          f"{'makespan (s)':>13s}")
+    for name, scheduling, service, total in rows:
+        print(f"  {name:12s} {scheduling:10.4f} {service:12.2f} "
+              f"{total:13.2f}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=10,
+                        help="independent runs per configuration")
+    parser.add_argument("--fast", action="store_true",
+                        help="use a lighter SA schedule")
+    args = parser.parse_args()
+    factories = algorithm_factories(args.fast)
+
+    # Figure 4: uniform workloads, 10 cameras, n in {10, 20, 30}.
+    for n_requests in (10, 20, 30):
+        problems = [uniform_camera_workload(n_requests, 10, seed=seed)
+                    for seed in range(args.runs)]
+        print_table(
+            f"Uniform workload: {n_requests} requests on 10 cameras "
+            f"(Figure 4, avg of {args.runs})",
+            run_workloads(problems, factories))
+
+    # Figure 6: skewed workloads, skewness in {0.2, 0.3, 0.4}.
+    for skewness in (0.2, 0.3, 0.4):
+        problems = [skewed_camera_workload(20, 10, skewness, seed=seed)
+                    for seed in range(args.runs)]
+        print_table(
+            f"Skewed workload: skewness {skewness} "
+            f"(Figure 6, avg of {args.runs})",
+            run_workloads(problems, factories))
+
+
+if __name__ == "__main__":
+    main()

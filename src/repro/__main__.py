@@ -1,0 +1,73 @@
+"""Command-line entry point: ``python -m repro``.
+
+Prints the library banner and optionally runs the built-in demo (the
+paper's Figure 1 scenario, same as ``examples/quickstart.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import repro
+from repro import (
+    AortaEngine,
+    Environment,
+    PanTiltZoomCamera,
+    Point,
+    SensorMote,
+    SensorStimulus,
+)
+
+BANNER = f"""Aorta {repro.__version__} — pervasive query processing
+Reproduction of Xue, Luo, Ni: "Systems Support for Pervasive Query
+Processing" (ICDCS 2005). See README.md, DESIGN.md, EXPERIMENTS.md.
+"""
+
+
+def run_demo() -> int:
+    """The Figure 1 snapshot query in one shot."""
+    env = Environment()
+    engine = AortaEngine(env)
+    engine.add_device(PanTiltZoomCamera(env, "cam1", Point(0, 0)))
+    engine.add_device(PanTiltZoomCamera(env, "cam2", Point(20, 0),
+                                        facing=180.0))
+    mote = SensorMote(env, "mote1", Point(5, 3), noise_amplitude=0.0)
+    engine.add_device(mote)
+    engine.execute('''CREATE AQ snapshot AS
+        SELECT photo(c.ip, s.loc, "photos/admin")
+        FROM sensor s, camera c
+        WHERE s.accel_x > 500 AND coverage(c.id, s.loc)''')
+    mote.inject(SensorStimulus("accel_x", start=2.0, duration=3.0,
+                               magnitude=850.0))
+    engine.start()
+    engine.run(until=30.0)
+    print("Trace of the run:")
+    print(engine.tracer.tail())
+    request = engine.completed_requests[0]
+    print(f"\nPhoto stored at {request.result.pathname} "
+          f"({request.completion_seconds:.2f}s after the event)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=BANNER,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--demo", action="store_true",
+                        help="run the Figure 1 demo scenario")
+    parser.add_argument("--version", action="store_true",
+                        help="print the version and exit")
+    args = parser.parse_args(argv)
+    if args.version:
+        print(repro.__version__)
+        return 0
+    print(BANNER)
+    if args.demo:
+        return run_demo()
+    print("Run with --demo for the Figure 1 scenario, or see examples/.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Actions: first-class operators over devices (paper Sections 2.2–2.3).
+
+Actions are "system built-in or user-defined functions that operate
+devices". Each action pairs an executable implementation with an
+:class:`~repro.profiles.ActionProfile` (for cost estimation) and a
+quantity resolver (for status-dependent costs). Applications register
+user-defined actions through ``CREATE ACTION``; the built-in library
+(``photo``, ``sendphoto``, ``beep``, ``blink``) ships with the system.
+"""
+
+from repro.actions.action import ActionDefinition, ActionParameter
+from repro.actions.builtins import install_builtin_actions
+from repro.actions.registry import ActionLibrary, ActionRegistry
+from repro.actions.request import ActionRequest, RequestState
+
+__all__ = [
+    "ActionDefinition",
+    "ActionLibrary",
+    "ActionParameter",
+    "ActionRegistry",
+    "ActionRequest",
+    "RequestState",
+    "install_builtin_actions",
+]

@@ -1,0 +1,170 @@
+"""Action definitions: signature, implementation, profile, resolver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, Mapping, Tuple
+
+from repro.errors import QueryError, RegistrationError
+from repro.devices.base import Device
+from repro.cost.model import QuantityResolver
+from repro.profiles.action_profile import ActionProfile
+
+#: Device-side behaviour of an action: a generator consuming virtual
+#: time on the device and returning the action's result.
+ActionImplementation = Callable[
+    [Device, Mapping[str, Any]], Generator[Any, Any, Any]
+]
+
+#: Python types accepted for each declared parameter type.
+_PARAMETER_TYPES: Dict[str, tuple[type, ...]] = {
+    "String": (str,),
+    "Int": (int,),
+    "Float": (float, int),
+    "Bool": (bool,),
+    "Location": (object,),  # a geometry Point; checked structurally
+}
+
+
+@dataclass(frozen=True)
+class ActionParameter:
+    """One declared parameter of an action, e.g. ``String phone_no``.
+
+    A parameter with a non-empty ``device_attribute`` is
+    *device-identifying*: in a query, its argument names the device
+    table (``photo(c.ip, ...)``), and at execution time the engine
+    binds it from the chosen device's static attribute of that name —
+    the scheduler, not the query, picks the concrete device.
+    """
+
+    name: str
+    type_name: str
+    device_attribute: str = ""
+
+    def __post_init__(self) -> None:
+        if self.type_name not in _PARAMETER_TYPES:
+            raise RegistrationError(
+                f"parameter {self.name!r} has unknown type "
+                f"{self.type_name!r}; expected one of "
+                f"{sorted(_PARAMETER_TYPES)}"
+            )
+        if not self.name.isidentifier():
+            raise RegistrationError(
+                f"parameter name {self.name!r} is not an identifier"
+            )
+
+    def accepts(self, value: Any) -> bool:
+        """Whether ``value`` is a legal argument for this parameter."""
+        if self.type_name == "Location":
+            return hasattr(value, "x") and hasattr(value, "y")
+        if self.type_name == "Bool":
+            return isinstance(value, bool)
+        expected = _PARAMETER_TYPES[self.type_name]
+        return isinstance(value, expected) and not isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class ActionDefinition:
+    """A registered action: what ``CREATE ACTION`` produces.
+
+    ``library_path`` and ``profile_path`` keep the paper's registration
+    syntax (``AS "lib/users/sendphoto.dll" PROFILE "profiles/..."``);
+    the executable is a Python callable resolved from the action
+    library rather than a DLL.
+    """
+
+    name: str
+    device_type: str
+    parameters: Tuple[ActionParameter, ...]
+    implementation: ActionImplementation
+    profile: ActionProfile
+    resolver: QuantityResolver
+    library_path: str = ""
+    profile_path: str = ""
+    builtin: bool = False
+    #: Device-selection mode. False (the paper's semantics): the
+    #: optimizer picks the single best candidate ("it is sufficient to
+    #: let some, instead of all, devices take the action"). True (an
+    #: extension): the action executes on *every* candidate — right for
+    #: actions like sounding all alarms or bolting all nearby doors.
+    select_all: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise RegistrationError(
+                f"action name {self.name!r} is not an identifier"
+            )
+        if self.profile.action_name != self.name:
+            raise RegistrationError(
+                f"action {self.name!r} registered with profile for "
+                f"{self.profile.action_name!r}"
+            )
+        if self.profile.device_type != self.device_type:
+            raise RegistrationError(
+                f"action {self.name!r} targets {self.device_type!r} but "
+                f"its profile targets {self.profile.device_type!r}"
+            )
+        names = [p.name for p in self.parameters]
+        if len(names) != len(set(names)):
+            raise RegistrationError(
+                f"action {self.name!r} has duplicate parameter names"
+            )
+
+    def bind(self, arguments: Mapping[str, Any]) -> Dict[str, Any]:
+        """Validate and normalize call arguments against the signature."""
+        missing = [p.name for p in self.parameters if p.name not in arguments]
+        if missing:
+            raise QueryError(
+                f"action {self.name!r} is missing arguments: {missing}"
+            )
+        unknown = set(arguments) - {p.name for p in self.parameters}
+        if unknown:
+            raise QueryError(
+                f"action {self.name!r} got unknown arguments: "
+                f"{sorted(unknown)}"
+            )
+        bound: Dict[str, Any] = {}
+        for parameter in self.parameters:
+            value = arguments[parameter.name]
+            if not parameter.accepts(value):
+                raise QueryError(
+                    f"argument {parameter.name!r} of action {self.name!r} "
+                    f"expects {parameter.type_name}, got "
+                    f"{type(value).__name__}"
+                )
+            bound[parameter.name] = value
+        return bound
+
+    @property
+    def device_parameters(self) -> Tuple[ActionParameter, ...]:
+        """The device-identifying parameters of this action."""
+        return tuple(p for p in self.parameters if p.device_attribute)
+
+    def fill_device_arguments(
+        self, device: Device, arguments: Mapping[str, Any]
+    ) -> Dict[str, Any]:
+        """Bind device-identifying parameters from the chosen device."""
+        filled = dict(arguments)
+        static = device.static_attributes()
+        for parameter in self.device_parameters:
+            if parameter.device_attribute not in static:
+                raise QueryError(
+                    f"device {device.device_id!r} has no static attribute "
+                    f"{parameter.device_attribute!r} for parameter "
+                    f"{parameter.name!r}"
+                )
+            filled.setdefault(parameter.name,
+                              static[parameter.device_attribute])
+        return filled
+
+    def execute(
+        self, device: Device, arguments: Mapping[str, Any]
+    ) -> Generator[Any, Any, Any]:
+        """Run the action's implementation on a device."""
+        if device.device_type != self.device_type:
+            raise QueryError(
+                f"action {self.name!r} operates {self.device_type!r} "
+                f"devices, not {device.device_type!r}"
+            )
+        bound = self.bind(self.fill_device_arguments(device, arguments))
+        return (yield from self.implementation(device, bound))

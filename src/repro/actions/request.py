@@ -1,0 +1,73 @@
+"""Action requests: instantiated calls awaiting scheduling.
+
+"We define an action request as the request from a query for the
+execution of an action with instantiated input parameter values for the
+action." (Section 5)
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+_request_counter = itertools.count(1)
+
+
+class RequestState(enum.Enum):
+    """Lifecycle of an action request through the scheduler."""
+
+    PENDING = "pending"        # emitted by a query, not yet scheduled
+    ASSIGNED = "assigned"      # bound to a device, queued or running
+    SERVICED = "serviced"      # action completed successfully
+    FAILED = "failed"          # action failed on the device
+
+
+@dataclass
+class ActionRequest:
+    """One request for one action execution with bound arguments."""
+
+    action_name: str
+    arguments: Dict[str, Any]
+    #: The continuous query that emitted this request (operator sharing
+    #: tags tuples with query IDs, Section 2.3).
+    query_id: str = ""
+    #: Virtual time at which the request appeared in the action operator.
+    created_at: float = 0.0
+    #: Candidate devices eligible to service this request.
+    candidates: Tuple[str, ...] = ()
+    request_id: str = field(
+        default_factory=lambda: f"req{next(_request_counter)}")
+    state: RequestState = RequestState.PENDING
+    #: Device that serviced (or failed) the request.
+    assigned_device: Optional[str] = None
+    #: Virtual time the action finished, for completion-time accounting.
+    completed_at: Optional[float] = None
+    #: The action's return value (e.g. a Photo) or failure reason.
+    result: Any = None
+    failure_reason: str = ""
+
+    def mark_assigned(self, device_id: str) -> None:
+        """Record the scheduler's device choice."""
+        self.assigned_device = device_id
+        self.state = RequestState.ASSIGNED
+
+    def mark_serviced(self, completed_at: float, result: Any = None) -> None:
+        """Record successful completion."""
+        self.state = RequestState.SERVICED
+        self.completed_at = completed_at
+        self.result = result
+
+    def mark_failed(self, completed_at: float, reason: str) -> None:
+        """Record failure (timeout, interference, device fault...)."""
+        self.state = RequestState.FAILED
+        self.completed_at = completed_at
+        self.failure_reason = reason
+
+    @property
+    def completion_seconds(self) -> Optional[float]:
+        """Seconds from appearance to completion, if completed."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.created_at

@@ -1,0 +1,40 @@
+"""The uniform data communication layer (paper Section 3).
+
+This layer "handles heterogeneous networking protocols and provides a
+dynamic, logical view of networked devices for applications". Its three
+components, per the paper:
+
+1. device profiles — registered via
+   :meth:`CommunicationLayer.register_device_type`;
+2. scan operators over virtual device tables — :class:`ScanOperator`;
+3. basic communication methods (``connect/close/send/receive``) —
+   :class:`BaseCommunicator` and its per-type adapters.
+
+The probing mechanism of Section 4 also lives here
+(:class:`Prober`), since a probe is a communication-layer exchange.
+"""
+
+from repro.comm.adapters import (
+    BaseCommunicator,
+    CameraCommunicator,
+    PhoneCommunicator,
+    SensorCommunicator,
+)
+from repro.comm.layer import CommunicationLayer, DeviceTypeRegistration
+from repro.comm.probe import DEFAULT_TIMEOUTS, Prober, ProbeResult
+from repro.comm.scan import ScanOperator
+from repro.comm.tuples import DeviceTuple
+
+__all__ = [
+    "BaseCommunicator",
+    "CameraCommunicator",
+    "CommunicationLayer",
+    "DEFAULT_TIMEOUTS",
+    "DeviceTuple",
+    "DeviceTypeRegistration",
+    "PhoneCommunicator",
+    "Prober",
+    "ProbeResult",
+    "ScanOperator",
+    "SensorCommunicator",
+]

@@ -1,0 +1,135 @@
+"""The probing mechanism (paper Section 4).
+
+"The probing mechanism is for the optimizer to examine each candidate
+before deciding whether it should be included in the device selection
+optimization. A probe on a candidate device includes the transmission
+of several messages between the optimizer and the device." A
+system-provided per-type TIMEOUT breaks probes on unresponsive devices,
+which are then excluded from optimization; a successful probe also
+returns the device's current physical status for cost estimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.errors import CommunicationError, ConnectionTimeoutError, DeviceError
+from repro.devices.base import Device
+from repro.network.message import Message
+from repro.network.transport import Transport
+from repro.sim import Environment
+
+#: System-provided probe TIMEOUT per device type, in seconds. Cameras
+#: answer over the LAN quickly; motes may need radio retries; phones go
+#: through the carrier network.
+DEFAULT_TIMEOUTS: Dict[str, float] = {
+    "camera": 1.0,
+    "sensor": 0.5,
+    "phone": 2.0,
+}
+
+#: Fallback timeout for device types without a registered value.
+FALLBACK_TIMEOUT = 1.0
+
+
+@dataclass
+class ProbeResult:
+    """Outcome of probing one candidate device."""
+
+    device_id: str
+    available: bool
+    #: Physical-status snapshot when available, for the cost model.
+    status: Dict[str, float] = field(default_factory=dict)
+    round_trip_seconds: float = 0.0
+    error: str = ""
+
+
+class Prober:
+    """Probes candidate devices before device-selection optimization."""
+
+    def __init__(
+        self,
+        env: Environment,
+        transport: Transport,
+        timeouts: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.env = env
+        self.transport = transport
+        self.timeouts = dict(DEFAULT_TIMEOUTS if timeouts is None else timeouts)
+        #: Running counters for observability.
+        self.probes_sent = 0
+        self.probes_failed = 0
+
+    def timeout_for(self, device: Device) -> float:
+        """The TIMEOUT that applies to this device's type."""
+        return self.timeouts.get(device.device_type, FALLBACK_TIMEOUT)
+
+    def probe(self, device: Device) -> Generator[Any, Any, ProbeResult]:
+        """Check one candidate's availability and fetch its status.
+
+        The probe is the paper's several-message exchange: a connection
+        handshake, a ping, and a status request. Any timeout or
+        communication failure marks the device unavailable — it never
+        raises, because an unavailable candidate is an expected outcome
+        that simply excludes the device from optimization.
+        """
+        timeout = self.timeout_for(device)
+        started = self.env.now
+        self.probes_sent += 1
+        try:
+            connection = yield from self.transport.connect(device, timeout)
+            try:
+                ping = yield from connection.request(Message(
+                    kind="ping", device_id=device.device_id), timeout)
+                if not ping.ok:
+                    raise CommunicationError(f"ping failed: {ping.error}")
+                status = yield from connection.request(Message(
+                    kind="status", device_id=device.device_id), timeout)
+                if not status.ok:
+                    raise CommunicationError(f"status failed: {status.error}")
+            finally:
+                connection.close()
+        except (ConnectionTimeoutError, CommunicationError, DeviceError) as exc:
+            self.probes_failed += 1
+            return ProbeResult(
+                device_id=device.device_id,
+                available=False,
+                round_trip_seconds=self.env.now - started,
+                error=str(exc),
+            )
+        return ProbeResult(
+            device_id=device.device_id,
+            available=True,
+            status=status.value,
+            round_trip_seconds=self.env.now - started,
+        )
+
+    def probe_all(
+        self, devices: List[Device]
+    ) -> Generator[Any, Any, List[ProbeResult]]:
+        """Probe candidates concurrently; results in input order.
+
+        Probing in parallel matters: a single dead mote would otherwise
+        stall device selection for its whole TIMEOUT.
+        """
+        probes = [self.env.process(self.probe(device)).defuse()
+                  for device in devices]
+        results = []
+        for probe in probes:
+            result = yield probe
+            results.append(result)
+        return results
+
+    def available_devices(
+        self, devices: List[Device]
+    ) -> Generator[Any, Any, List[tuple[Device, ProbeResult]]]:
+        """Probe all candidates, keeping only the responsive ones.
+
+        "These malfunctioning devices will be automatically excluded in
+        the device selection optimization." (Section 4)
+        """
+        results = yield from self.probe_all(devices)
+        return [(device, result)
+                for device, result in zip(devices, results)
+                if result.available]

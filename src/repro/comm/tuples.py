@@ -1,0 +1,77 @@
+"""Tuples of the virtual device tables.
+
+"Each tuple of a virtual device table (e.g., the sensor table) is from
+a specific device of the corresponding type; it is generated on-the-fly
+when requested by the query engine." (Section 3.2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.errors import ProfileError, QueryError
+from repro.profiles.schema import DeviceCatalog
+
+
+@dataclass
+class DeviceTuple:
+    """One row of a virtual device table."""
+
+    device_type: str
+    device_id: str
+    values: Dict[str, Any] = field(default_factory=dict)
+    #: Virtual time at which the sensory values were acquired.
+    acquired_at: float = 0.0
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self.values[name]
+        except KeyError:
+            raise QueryError(
+                f"tuple of {self.device_type!r} has no attribute {name!r}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.values
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Attribute value or ``default`` when absent."""
+        return self.values.get(name, default)
+
+    def validate(self, catalog: DeviceCatalog) -> None:
+        """Check this tuple against the catalog schema.
+
+        Every catalog attribute must be present with a value of the
+        declared type (ints are acceptable where floats are declared,
+        mirroring SQL numeric coercion).
+        """
+        if catalog.device_type != self.device_type:
+            raise ProfileError(
+                f"tuple of {self.device_type!r} validated against catalog "
+                f"of {catalog.device_type!r}"
+            )
+        for attr in catalog.attributes:
+            if attr.name not in self.values:
+                raise ProfileError(
+                    f"tuple of {self.device_type!r} is missing attribute "
+                    f"{attr.name!r}"
+                )
+            value = self.values[attr.name]
+            expected = attr.python_type
+            if expected is float and isinstance(value, int) \
+                    and not isinstance(value, bool):
+                continue
+            if expected is bool:
+                if not isinstance(value, bool):
+                    raise ProfileError(
+                        f"attribute {attr.name!r} expected bool, got "
+                        f"{type(value).__name__}"
+                    )
+                continue
+            if not isinstance(value, expected) or isinstance(value, bool) \
+                    and expected is not bool:
+                raise ProfileError(
+                    f"attribute {attr.name!r} expected "
+                    f"{expected.__name__}, got {type(value).__name__}"
+                )

@@ -1,0 +1,22 @@
+"""The Aorta engine: the action-oriented query processor (Section 2).
+
+:class:`AortaEngine` ties the layers together: the declarative
+interface on top, the action-oriented query processing engine in the
+middle (planner, optimizer/dispatcher, continuous executor, cost model,
+device locks) and the uniform data communication layer at the bottom —
+the paper's three-layer architecture (Section 2.1).
+"""
+
+from repro.core.config import EngineConfig
+from repro.core.continuous import ContinuousQueryExecutor, RegisteredQuery
+from repro.core.dispatcher import DispatchReport, Dispatcher
+from repro.core.engine import AortaEngine
+
+__all__ = [
+    "AortaEngine",
+    "ContinuousQueryExecutor",
+    "DispatchReport",
+    "Dispatcher",
+    "EngineConfig",
+    "RegisteredQuery",
+]

@@ -1,0 +1,54 @@
+"""Engine configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AortaError
+
+#: Scheduler names accepted by EngineConfig.scheduler.
+SCHEDULER_NAMES = ("LERFA+SRFE", "SRFAE", "LS", "SA", "RANDOM")
+
+
+@dataclass
+class EngineConfig:
+    """Tunables of one engine instance.
+
+    ``synchronization`` switches the Section 4 mechanisms (device
+    locking + probing) on or off — off reproduces the unsynchronized
+    failure study of Section 6.2.
+    """
+
+    #: Seconds between event-scan polls of the continuous executor.
+    poll_interval: float = 1.0
+    #: Seconds the dispatcher waits after a first request so that
+    #: near-simultaneous requests from concurrent queries batch into one
+    #: scheduling problem (the shared-operator group optimization).
+    batch_window: float = 0.1
+    #: Device locking: one action at a time per device.
+    locking: bool = True
+    #: Probe candidates (availability + status) before optimization.
+    probing: bool = True
+    #: Emit an event only on a false->true predicate edge per device;
+    #: when False, every poll where the predicate holds re-triggers.
+    edge_triggered: bool = True
+    #: Which scheduling algorithm the dispatcher uses.
+    scheduler: str = "SRFAE"
+    #: Seed for the scheduler's randomness.
+    scheduler_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.poll_interval <= 0:
+            raise AortaError("poll_interval must be positive")
+        if self.batch_window < 0:
+            raise AortaError("batch_window must be non-negative")
+        if self.scheduler not in SCHEDULER_NAMES:
+            raise AortaError(
+                f"unknown scheduler {self.scheduler!r}; expected one of "
+                f"{SCHEDULER_NAMES}"
+            )
+
+    @property
+    def synchronization(self) -> bool:
+        """Whether both Section 4 mechanisms are active."""
+        return self.locking and self.probing

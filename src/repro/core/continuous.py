@@ -1,0 +1,250 @@
+"""Event-driven execution of registered continuous queries.
+
+"Many pervasive computing applications have an event-driven and
+action-oriented processing nature: when the application detects an
+event, a pre-defined action on some type of devices is triggered."
+(Section 2.2) The executor polls the event tables' scan operators,
+evaluates each query's event predicate per device, and on detection
+evaluates the candidate predicate over the device table and submits an
+instantiated action request to the shared action operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List
+
+from repro.errors import AortaError, PlanError, RegistrationError
+from repro.actions.request import ActionRequest
+from repro.comm.layer import CommunicationLayer
+from repro.comm.scan import ScanOperator
+from repro.comm.tuples import DeviceTuple
+from repro.plan.planner import ContinuousPlan
+from repro.query.expressions import (
+    LOCATION_PSEUDO_COLUMN,
+    EvaluationContext,
+    evaluate,
+)
+from repro.query.functions import FunctionRegistry
+from repro.sim import Environment
+from repro.core.config import EngineConfig
+from repro.core.dispatcher import Dispatcher
+
+
+@dataclass
+class RegisteredQuery:
+    """One live continuous query with its event-edge memory."""
+
+    plan: ContinuousPlan
+    enabled: bool = True
+    #: Per event-device: whether the predicate held at the last poll
+    #: (for edge-triggered event detection).
+    last_state: Dict[str, bool] = field(default_factory=dict)
+    events_detected: int = 0
+    requests_emitted: int = 0
+    #: Events whose candidate set was empty (e.g. no camera covers the
+    #: sensor's location) — nothing to schedule.
+    uncovered_events: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.plan.query_name
+
+
+class ContinuousQueryExecutor:
+    """Runs every registered AQ against the live device network."""
+
+    def __init__(
+        self,
+        env: Environment,
+        comm: CommunicationLayer,
+        functions: FunctionRegistry,
+        dispatcher: Dispatcher,
+        config: EngineConfig,
+    ) -> None:
+        self.env = env
+        self.comm = comm
+        self.functions = functions
+        self.dispatcher = dispatcher
+        self.config = config
+        self.queries: Dict[str, RegisteredQuery] = {}
+        self._scans: Dict[str, ScanOperator] = {}
+        self._running = False
+        self.polls = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, plan: ContinuousPlan) -> RegisteredQuery:
+        """Install a planned AQ (the CREATE AQ effect)."""
+        if plan.query_name in self.queries:
+            raise RegistrationError(
+                f"query {plan.query_name!r} is already registered"
+            )
+        self._check_candidate_predicate(plan)
+        query = RegisteredQuery(plan=plan)
+        self.dispatcher.operator_for(plan.action).attach(plan.query_name)
+        self.queries[plan.query_name] = query
+        self.dispatcher.tracer.record(
+            self.env.now, "query_registered", query=plan.query_name,
+            action=plan.action.name)
+        return query
+
+    def drop(self, name: str) -> None:
+        """Remove a query (the DROP AQ effect)."""
+        if name not in self.queries:
+            raise RegistrationError(f"no registered query {name!r}")
+        query = self.queries.pop(name)
+        self.dispatcher.operator_for(query.plan.action).detach(name)
+        self.dispatcher.tracer.record(self.env.now, "query_dropped",
+                                      query=name)
+
+    def _check_candidate_predicate(self, plan: ContinuousPlan) -> None:
+        """Candidate predicates may only read the device's static data.
+
+        Sensory device attributes would need a live read per candidate
+        per event; availability and status go through probing instead
+        (Section 4), so we reject such predicates at registration.
+        """
+        if plan.candidate_predicate is None:
+            return
+        catalog = self.comm.catalog(plan.device_table)
+        for ref in plan.candidate_predicate.column_refs():
+            if ref.qualifier != plan.device_alias:
+                continue
+            if ref.name == LOCATION_PSEUDO_COLUMN:
+                continue
+            if catalog.attribute(ref.name).sensory:
+                raise PlanError(
+                    f"candidate predicate of {plan.query_name!r} reads "
+                    f"sensory attribute {ref.name!r}; device status is "
+                    f"obtained by probing, not by candidate predicates"
+                )
+
+    # ------------------------------------------------------------------
+    # The polling loop
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the polling loop as a simulation process."""
+        if self._running:
+            raise AortaError("continuous executor already started")
+        self._running = True
+        self.env.process(self._run())
+
+    def _run(self) -> Generator[Any, Any, None]:
+        while True:
+            yield from self.poll_once()
+            yield self.env.timeout(self.config.poll_interval)
+
+    def poll_once(self) -> Generator[Any, Any, int]:
+        """One detection pass over all event tables; returns emit count.
+
+        The scan of each event table is shared by every query reading
+        it — one network acquisition per poll regardless of how many
+        queries watch the same sensors.
+        """
+        self.polls += 1
+        emitted = 0
+        tables = {q.plan.event_table for q in self.queries.values()
+                  if q.enabled}
+        for table in tables:
+            scan = self._scan_for(table)
+            rows = yield from scan.scan()
+            for query in list(self.queries.values()):
+                if query.enabled and query.plan.event_table == table:
+                    emitted += self._detect_events(query, rows)
+        return emitted
+
+    def _scan_for(self, table: str) -> ScanOperator:
+        if table not in self._scans:
+            self._scans[table] = self.comm.scan_operator(table)
+        return self._scans[table]
+
+    # ------------------------------------------------------------------
+    # Event detection and request emission
+    # ------------------------------------------------------------------
+    def _detect_events(self, query: RegisteredQuery,
+                       rows: List[DeviceTuple]) -> int:
+        plan = query.plan
+        emitted = 0
+        for row in rows:
+            context = EvaluationContext(
+                tuples={plan.event_alias: row}, functions=self.functions)
+            holds = (True if plan.event_predicate is None
+                     else bool(evaluate(plan.event_predicate, context)))
+            previously = query.last_state.get(row.device_id, False)
+            query.last_state[row.device_id] = holds
+            if not holds:
+                continue
+            if self.config.edge_triggered and previously:
+                continue  # still the same event, no re-trigger
+            query.events_detected += 1
+            self.dispatcher.tracer.record(
+                self.env.now, "event_detected", query=query.name,
+                sensor=row.device_id)
+            if self._emit_request(query, row, context):
+                emitted += 1
+        return emitted
+
+    def _emit_request(self, query: RegisteredQuery, event_row: DeviceTuple,
+                      context: EvaluationContext) -> bool:
+        plan = query.plan
+        arguments = {
+            name: evaluate(expression, context)
+            for name, expression in plan.argument_expressions.items()
+        }
+        candidates = self._candidates(plan, context)
+        if not candidates:
+            query.uncovered_events += 1
+            return False
+        operator = self.dispatcher.operator_for(plan.action)
+        self.dispatcher.tracer.record(
+            self.env.now, "request_emitted", query=plan.query_name,
+            action=plan.action.name, candidates=len(candidates))
+        if plan.action.select_all:
+            # Fan out: one single-candidate request per device, so the
+            # action runs on every candidate (extension semantics).
+            for device_id in candidates:
+                operator.submit(ActionRequest(
+                    action_name=plan.action.name,
+                    arguments=dict(arguments),
+                    query_id=plan.query_name,
+                    created_at=self.env.now,
+                    candidates=(device_id,),
+                ))
+                query.requests_emitted += 1
+        else:
+            operator.submit(ActionRequest(
+                action_name=plan.action.name,
+                arguments=arguments,
+                query_id=plan.query_name,
+                created_at=self.env.now,
+                candidates=tuple(candidates),
+            ))
+            query.requests_emitted += 1
+        return True
+
+    def _candidates(self, plan: ContinuousPlan,
+                    event_context: EvaluationContext) -> List[str]:
+        """Device IDs satisfying the candidate predicate for this event.
+
+        Membership, not liveness, is checked here: devices "may join,
+        move around, or leave the network dynamically in a way
+        unpredictable to the system" (Section 4), so unavailability is
+        discovered by the dispatcher's probe, not assumed here.
+        """
+        candidates = []
+        for device in self.comm.registry.of_type(plan.device_table):
+            if plan.candidate_predicate is None:
+                candidates.append(device.device_id)
+                continue
+            device_row = DeviceTuple(
+                device_type=device.device_type,
+                device_id=device.device_id,
+                values=device.static_attributes(),
+                acquired_at=self.env.now,
+            )
+            context = event_context.bind(plan.device_alias, device_row)
+            if evaluate(plan.candidate_predicate, context):
+                candidates.append(device.device_id)
+        return candidates

@@ -1,0 +1,350 @@
+"""The dispatcher: probe, cost-optimize, schedule and execute batches.
+
+This is the "optimizer" of Sections 4–5 at run time: action requests
+appearing in a shared action operator "at the same time or within a
+short time interval" are drained as one batch, candidates are probed
+(unavailable devices excluded), costs estimated from probed status, the
+configured scheduling algorithm assigns requests to devices, and
+per-device executors service their queues under device locks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.errors import (
+    ActionFailedError,
+    AortaError,
+    CommunicationError,
+    DeviceError,
+    QueryError,
+)
+from repro.actions.action import ActionDefinition
+from repro.actions.request import ActionRequest, RequestState
+from repro.comm.layer import CommunicationLayer
+from repro.cost.model import CostModel
+from repro.devices.base import Device
+from repro.plan.action_op import SharedActionOperator
+from repro.scheduling import (
+    LerfaSrfeScheduler,
+    ListScheduler,
+    Problem,
+    RandomScheduler,
+    SchedRequest,
+    Scheduler,
+    SchedulingCostModel,
+    SimulatedAnnealingScheduler,
+    SrfaeScheduler,
+)
+from repro.sim import Environment, Event
+from repro.sync.locks import DeviceLockManager, LockToken
+from repro.core.config import EngineConfig
+
+#: Factories of the five evaluated algorithms, keyed by config name.
+SCHEDULER_FACTORIES = {
+    "LERFA+SRFE": LerfaSrfeScheduler,
+    "SRFAE": SrfaeScheduler,
+    "LS": ListScheduler,
+    "SA": SimulatedAnnealingScheduler,
+    "RANDOM": RandomScheduler,
+}
+
+
+class _ActionCostAdapter(SchedulingCostModel):
+    """Bridges the engine cost model into a scheduling problem.
+
+    Request payloads are the :class:`ActionRequest` objects; statuses
+    are physical-status dicts from probing.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        action: ActionDefinition,
+        devices: Dict[str, Device],
+        initial_statuses: Dict[str, Dict[str, float]],
+    ) -> None:
+        self._cost_model = cost_model
+        self._action = action
+        self._devices = devices
+        self._initial = initial_statuses
+
+    def initial_status(self, device_id: str) -> Dict[str, float]:
+        return self._initial[device_id]
+
+    def estimate(self, request: SchedRequest, device_id: str,
+                 status: Any) -> Tuple[float, Any]:
+        action_request: ActionRequest = request.payload
+        estimate = self._cost_model.estimate(
+            self._action.name, self._devices[device_id],
+            action_request.arguments, status=status)
+        return estimate.seconds, estimate.post_status
+
+
+@dataclass
+class DispatchReport:
+    """Outcome of dispatching one batch of one action's requests."""
+
+    action_name: str
+    batch_size: int
+    scheduled: int
+    unschedulable: int
+    serviced: int
+    failed: int
+    scheduling_seconds: float
+    batch_started_at: float
+    batch_finished_at: float
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Batch appearance to last completion, the Section 5 makespan."""
+        return self.batch_finished_at - self.batch_started_at
+
+
+class Dispatcher:
+    """Drains shared action operators and drives execution on devices."""
+
+    def __init__(
+        self,
+        env: Environment,
+        comm: CommunicationLayer,
+        cost_model: CostModel,
+        locks: DeviceLockManager,
+        config: EngineConfig,
+        scheduler: Optional[Scheduler] = None,
+        tracer: Optional["EngineTracer"] = None,
+    ) -> None:
+        from repro.core.tracing import EngineTracer
+        self.env = env
+        self.comm = comm
+        self.cost_model = cost_model
+        self.locks = locks
+        self.config = config
+        # Note: an empty tracer is falsy (it has __len__), so test
+        # identity, not truthiness.
+        self.tracer = tracer if tracer is not None else EngineTracer()
+        if scheduler is None:
+            factory = SCHEDULER_FACTORIES[config.scheduler]
+            scheduler = factory(config.scheduler_seed)
+        self.scheduler = scheduler
+        self._operators: Dict[str, SharedActionOperator] = {}
+        self._wakeup: Optional[Event] = None
+        self._running = False
+        #: All requests that went through dispatch, in completion order.
+        self.completed: List[ActionRequest] = []
+        self.reports: List[DispatchReport] = []
+
+    # ------------------------------------------------------------------
+    # Shared action operators
+    # ------------------------------------------------------------------
+    def operator_for(self, action: ActionDefinition) -> SharedActionOperator:
+        """The (single) shared operator of one action, created lazily."""
+        if action.name not in self._operators:
+            operator = SharedActionOperator(action)
+            operator.on_submit = self._on_submit
+            self._operators[action.name] = operator
+        return self._operators[action.name]
+
+    def _on_submit(self, request: ActionRequest) -> None:
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    @property
+    def pending_requests(self) -> int:
+        return sum(op.pending_count for op in self._operators.values())
+
+    # ------------------------------------------------------------------
+    # The dispatch loop
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the dispatch loop as a simulation process."""
+        if self._running:
+            raise AortaError("dispatcher already started")
+        self._running = True
+        self.env.process(self._run())
+
+    def _run(self) -> Generator[Any, Any, None]:
+        while True:
+            if self.pending_requests == 0:
+                self._wakeup = self.env.event()
+                yield self._wakeup
+                self._wakeup = None
+            # Batch near-simultaneous submissions (group optimization).
+            if self.config.batch_window > 0:
+                yield self.env.timeout(self.config.batch_window)
+            yield from self.dispatch_pending()
+
+    def dispatch_pending(self) -> Generator[Any, Any, List[DispatchReport]]:
+        """Drain every operator and dispatch its batch. Synchronous
+        callers (tests, benchmarks) may drive this directly instead of
+        running the loop."""
+        reports = []
+        for operator in self._operators.values():
+            batch = operator.drain()
+            if batch:
+                report = yield from self.dispatch_batch(operator.action,
+                                                        batch)
+                reports.append(report)
+        return reports
+
+    # ------------------------------------------------------------------
+    # One batch: probe -> schedule -> execute
+    # ------------------------------------------------------------------
+    def dispatch_batch(
+        self, action: ActionDefinition, batch: List[ActionRequest]
+    ) -> Generator[Any, Any, DispatchReport]:
+        batch_started = self.env.now
+        devices = self._candidate_devices(batch)
+
+        statuses: Dict[str, Dict[str, float]] = {}
+        available: set[str] = set()
+        if self.config.probing:
+            device_list = list(devices.values())
+            results = yield from self.comm.prober.probe_all(device_list)
+            for device, result in zip(device_list, results):
+                if result.available:
+                    available.add(device.device_id)
+                    statuses[device.device_id] = result.status
+                else:
+                    self.tracer.record(
+                        self.env.now, "probe_failed",
+                        device=device.device_id, error=result.error)
+        else:
+            # Probing disabled: the optimizer has no availability
+            # information, so every candidate is assumed reachable and
+            # costed from its last-known status; execution on a dead
+            # device then fails (the Section 4 ablation).
+            for device_id, device in devices.items():
+                available.add(device_id)
+                statuses[device_id] = device.physical_status()
+
+        schedulable: List[ActionRequest] = []
+        unschedulable = 0
+        for request in batch:
+            request.candidates = tuple(
+                device_id for device_id in request.candidates
+                if device_id in available)
+            if request.candidates:
+                schedulable.append(request)
+            else:
+                request.mark_failed(self.env.now, "no available candidate")
+                self.completed.append(request)
+                unschedulable += 1
+
+        scheduling_seconds = 0.0
+        serviced = failed = 0
+        if schedulable:
+            problem = Problem(
+                requests=tuple(
+                    SchedRequest(request_id=r.request_id,
+                                 candidates=r.candidates, payload=r)
+                    for r in schedulable),
+                device_ids=tuple(device_id for device_id in devices
+                                 if device_id in available),
+                cost_model=_ActionCostAdapter(self.cost_model, action,
+                                              devices, statuses),
+                label=f"batch:{action.name}@{batch_started}",
+            )
+            schedule = self.scheduler.schedule(problem)
+            scheduling_seconds = schedule.scheduling_seconds
+            for request in schedulable:
+                request.mark_assigned(schedule.device_of(request.request_id))
+
+            by_id = {r.request_id: r for r in schedulable}
+            executions = []
+            if self.config.locking:
+                for device_id, queue in schedule.assignments.items():
+                    if not queue:
+                        continue
+                    executions.append(self.env.process(
+                        self._service_queue(
+                            action, devices[device_id],
+                            [by_id[request_id] for request_id in queue])
+                    ).defuse())
+            else:
+                # Unsynchronized: every request fires immediately and
+                # concurrently — the Section 6.2 interference mode.
+                for device_id, queue in schedule.assignments.items():
+                    for request_id in queue:
+                        executions.append(self.env.process(
+                            self._service_unlocked(
+                                action, devices[device_id],
+                                by_id[request_id])).defuse())
+            for execution in executions:
+                yield execution
+            for request in schedulable:
+                if request.state is RequestState.SERVICED:
+                    serviced += 1
+                else:
+                    failed += 1
+                self.completed.append(request)
+
+        report = DispatchReport(
+            action_name=action.name,
+            batch_size=len(batch),
+            scheduled=len(schedulable),
+            unschedulable=unschedulable,
+            serviced=serviced,
+            failed=failed,
+            scheduling_seconds=scheduling_seconds,
+            batch_started_at=batch_started,
+            batch_finished_at=self.env.now,
+        )
+        self.reports.append(report)
+        self.tracer.record(
+            self.env.now, "batch_dispatched", action=action.name,
+            size=len(batch), serviced=serviced,
+            failed=failed + unschedulable)
+        return report
+
+    def _candidate_devices(
+        self, batch: List[ActionRequest]
+    ) -> Dict[str, Device]:
+        devices: Dict[str, Device] = {}
+        for request in batch:
+            for device_id in request.candidates:
+                if device_id not in devices:
+                    devices[device_id] = self.comm.registry.get(device_id)
+        return devices
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _service_queue(
+        self, action: ActionDefinition, device: Device,
+        queue: List[ActionRequest],
+    ) -> Generator[Any, Any, None]:
+        """Service one device's queue in order, under its lock."""
+        for request in queue:
+            token = LockToken(request.request_id)
+            yield from self.locks.acquire(device.device_id, token)
+            try:
+                yield from self._execute_one(action, device, request)
+            finally:
+                self.locks.release(device.device_id, token)
+
+    def _service_unlocked(
+        self, action: ActionDefinition, device: Device,
+        request: ActionRequest,
+    ) -> Generator[Any, Any, None]:
+        yield from self._execute_one(action, device, request)
+
+    def _execute_one(
+        self, action: ActionDefinition, device: Device,
+        request: ActionRequest,
+    ) -> Generator[Any, Any, None]:
+        try:
+            result = yield from action.execute(device, request.arguments)
+        except ActionFailedError as exc:
+            request.mark_failed(self.env.now, exc.reason)
+        except (DeviceError, CommunicationError, QueryError) as exc:
+            request.mark_failed(self.env.now, str(exc))
+        else:
+            request.mark_serviced(self.env.now, result)
+        kind = ("request_serviced" if request.state is RequestState.SERVICED
+                else "request_failed")
+        self.tracer.record(
+            self.env.now, kind, request=request.request_id,
+            action=request.action_name, device=device.device_id,
+            query=request.query_id, reason=request.failure_reason)

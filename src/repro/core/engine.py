@@ -1,0 +1,353 @@
+"""The AortaEngine facade: the whole system behind one object."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.errors import AortaError, BindingError, QueryError
+from repro.actions.action import (
+    ActionDefinition,
+    ActionImplementation,
+    ActionParameter,
+)
+from repro.actions.builtins import install_builtin_actions
+from repro.actions.registry import ActionRegistry
+from repro.actions.request import ActionRequest
+from repro.comm.layer import CommunicationLayer
+from repro.cost.model import CostModel, QuantityResolver
+from repro.devices.base import Device
+from repro.devices.camera import PanTiltZoomCamera
+from repro.geometry import Point
+from repro.network.link import LinkModel
+from repro.plan.planner import Planner, SnapshotPlan
+from repro.profiles.action_profile import ActionProfile
+from repro.profiles.defaults import register_builtin_types
+from repro.query.ast import (
+    CreateActionStatement,
+    CreateAQStatement,
+    DropAQStatement,
+    ExplainStatement,
+    SelectQuery,
+    Statement,
+)
+from repro.query.catalog import SchemaCatalog
+from repro.query.functions import FunctionRegistry, install_standard_functions
+from repro.query.parser import parse
+from repro.sim import Environment
+from repro.sync.locks import DeviceLockManager
+from repro.core.config import EngineConfig
+from repro.core.continuous import ContinuousQueryExecutor, RegisteredQuery
+from repro.core.dispatcher import Dispatcher
+
+
+class AortaEngine:
+    """A complete Aorta instance over one simulated environment.
+
+    Typical use::
+
+        env = Environment()
+        engine = AortaEngine(env)
+        engine.add_device(PanTiltZoomCamera(env, "cam1", Point(0, 0)))
+        engine.add_device(SensorMote(env, "mote1", Point(5, 5)))
+        engine.execute(FIGURE_1_QUERY)   # CREATE AQ snapshot AS SELECT ...
+        engine.start()
+        engine.run(until=600.0)          # ten virtual minutes
+    """
+
+    def __init__(
+        self,
+        env: Optional[Environment] = None,
+        *,
+        config: Optional[EngineConfig] = None,
+        links: Optional[Dict[str, LinkModel]] = None,
+        seed: int = 0,
+    ) -> None:
+        self.env = env or Environment()
+        self.config = config or EngineConfig()
+        self.comm = CommunicationLayer(self.env, links=links,
+                                       rng=random.Random(seed))
+        register_builtin_types(self.comm)
+
+        self.schema = SchemaCatalog()
+        self.cost_model = CostModel()
+        for device_type in self.comm.registered_types():
+            self.schema.register_table(self.comm.catalog(device_type))
+            self.cost_model.register_cost_table(
+                self.comm.cost_table(device_type))
+
+        self.actions = ActionRegistry()
+        install_builtin_actions(self.actions, self.cost_model)
+
+        self.functions = FunctionRegistry()
+        install_standard_functions(self.functions)
+        self.functions.register("coverage", self._coverage, arity=2)
+
+        from repro.core.tracing import EngineTracer
+        self.tracer = EngineTracer()
+        self.locks = DeviceLockManager(self.env)
+        self.dispatcher = Dispatcher(self.env, self.comm, self.cost_model,
+                                     self.locks, self.config,
+                                     tracer=self.tracer)
+        self.planner = Planner(self.schema, self.actions, self.functions,
+                               self.comm)
+        self.continuous = ContinuousQueryExecutor(
+            self.env, self.comm, self.functions, self.dispatcher,
+            self.config)
+
+        #: Assets for CREATE ACTION: profile path -> (profile, resolver,
+        #: device-parameter map, select_all flag).
+        self._profile_assets: Dict[
+            str, Tuple[ActionProfile, QuantityResolver,
+                       Dict[str, str], bool]] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Devices
+    # ------------------------------------------------------------------
+    def add_device(self, device: Device) -> Device:
+        """Admit one device to the network."""
+        self.comm.add_device(device)
+        return device
+
+    def add_devices(self, devices: List[Device]) -> None:
+        """Admit several devices."""
+        for device in devices:
+            self.add_device(device)
+
+    # ------------------------------------------------------------------
+    # Built-in function needing engine context
+    # ------------------------------------------------------------------
+    def _coverage(self, camera_id: str, location: Any) -> bool:
+        """The paper's coverage(camera_id, location) Boolean function."""
+        if camera_id not in self.comm.registry:
+            return False
+        device = self.comm.registry.get(camera_id)
+        if not isinstance(device, PanTiltZoomCamera):
+            raise QueryError(
+                f"coverage() expects a camera, {camera_id!r} is a "
+                f"{device.device_type}"
+            )
+        return device.covers(Point(location.x, location.y))
+
+    # ------------------------------------------------------------------
+    # User-defined action assets (the pre-registration steps)
+    # ------------------------------------------------------------------
+    def install_action_code(self, library_path: str,
+                            implementation: ActionImplementation) -> None:
+        """Install the executable a CREATE ACTION library path names.
+
+        This is the reproduction's stand-in for "the user must
+        pre-compile the code block of the action into a dynamically
+        linked library" (Section 2.2).
+        """
+        self.actions.library.install(library_path, implementation)
+
+    def install_action_profile(
+        self,
+        profile_path: str,
+        profile: ActionProfile,
+        resolver: QuantityResolver,
+        *,
+        device_parameters: Optional[Dict[str, str]] = None,
+        select_all: bool = False,
+    ) -> None:
+        """Install the profile a CREATE ACTION PROFILE path names.
+
+        ``device_parameters`` maps parameter names to the device static
+        attribute that identifies the target device (e.g.
+        ``{"phone_no": "number"}``). ``select_all=True`` makes the
+        action execute on every candidate instead of the cost-optimal
+        one (see :class:`~repro.actions.ActionDefinition`).
+        """
+        if profile_path in self._profile_assets:
+            raise AortaError(
+                f"profile path {profile_path!r} already installed")
+        self._profile_assets[profile_path] = (
+            profile, resolver, dict(device_parameters or {}), select_all)
+
+    # ------------------------------------------------------------------
+    # The declarative interface
+    # ------------------------------------------------------------------
+    def execute(self, sql: str) -> Any:
+        """Execute one statement of the declarative interface.
+
+        Returns the registered :class:`ActionDefinition` for CREATE
+        ACTION, the :class:`RegisteredQuery` for CREATE AQ, ``None`` for
+        DROP AQ, and a :class:`SnapshotPlan` for plain SELECT (drive it
+        with :meth:`run_select`, or execute it inside a running
+        simulation).
+        """
+        return self.execute_statement(parse(sql))
+
+    def execute_statement(self, statement: Statement) -> Any:
+        if isinstance(statement, ExplainStatement):
+            return self._explain(statement.target)
+        if isinstance(statement, CreateActionStatement):
+            return self._create_action(statement)
+        if isinstance(statement, CreateAQStatement):
+            return self._create_aq(statement)
+        if isinstance(statement, DropAQStatement):
+            self.continuous.drop(statement.name)
+            return None
+        if isinstance(statement, SelectQuery):
+            return self.planner.plan_snapshot(statement)
+        raise QueryError(
+            f"unsupported statement {type(statement).__name__}")
+
+    def _explain(self, statement: Statement) -> str:
+        """Render a statement's plan without executing or registering."""
+        if isinstance(statement, CreateAQStatement):
+            plan = self.planner.plan_continuous(statement.name,
+                                                statement.query)
+            return plan.describe()
+        if isinstance(statement, SelectQuery):
+            return self.planner.plan_snapshot(statement).describe()
+        raise QueryError(
+            f"EXPLAIN supports SELECT and CREATE AQ, not "
+            f"{type(statement).__name__}"
+        )
+
+    def _create_action(
+        self, statement: CreateActionStatement
+    ) -> ActionDefinition:
+        implementation = self.actions.library.resolve(statement.library_path)
+        if statement.profile_path not in self._profile_assets:
+            raise BindingError(
+                f"no profile installed for path "
+                f"{statement.profile_path!r}; call install_action_profile "
+                f"before CREATE ACTION references it"
+            )
+        profile, resolver, device_parameters, select_all = (
+            self._profile_assets[statement.profile_path])
+        if profile.action_name != statement.name:
+            raise BindingError(
+                f"profile at {statement.profile_path!r} is for action "
+                f"{profile.action_name!r}, not {statement.name!r}"
+            )
+        parameters = tuple(
+            ActionParameter(
+                name=decl.name,
+                type_name=decl.type_name,
+                device_attribute=device_parameters.get(decl.name, ""),
+            )
+            for decl in statement.parameters
+        )
+        definition = ActionDefinition(
+            name=statement.name,
+            device_type=profile.device_type,
+            parameters=parameters,
+            implementation=implementation,
+            profile=profile,
+            resolver=resolver,
+            library_path=statement.library_path,
+            profile_path=statement.profile_path,
+            select_all=select_all,
+        )
+        self.actions.register(definition)
+        self.cost_model.register_action(profile, resolver)
+        return definition
+
+    def _create_aq(self, statement: CreateAQStatement) -> RegisteredQuery:
+        plan = self.planner.plan_continuous(statement.name, statement.query)
+        return self.continuous.register(plan)
+
+    def enable_query(self, name: str) -> None:
+        """Resume a paused continuous query."""
+        self._query(name).enabled = True
+
+    def disable_query(self, name: str) -> None:
+        """Pause a continuous query without dropping it.
+
+        Its event-edge memory is preserved; re-enabling resumes exactly
+        where detection left off.
+        """
+        self._query(name).enabled = False
+
+    def _query(self, name: str):
+        if name not in self.continuous.queries:
+            raise QueryError(f"no registered query {name!r}")
+        return self.continuous.queries[name]
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the continuous executor and the dispatcher."""
+        if self._started:
+            raise AortaError("engine already started")
+        self._started = True
+        self.dispatcher.start()
+        self.continuous.start()
+
+    def run(self, until: float) -> float:
+        """Advance the simulation to virtual time ``until``."""
+        return self.env.run(until=until)
+
+    def run_select(self, sql: str) -> List[Tuple[Any, ...]]:
+        """Convenience: execute a snapshot SELECT to completion.
+
+        Only valid when the caller owns the simulation loop (e.g.
+        scripts and tests) — it drains the event queue.
+        """
+        plan = self.execute(sql)
+        if not isinstance(plan, SnapshotPlan):
+            raise QueryError("run_select() only executes SELECT statements")
+        rows: List[Tuple[Any, ...]] = []
+
+        def runner(env: Environment) -> Generator[Any, Any, None]:
+            result = yield from plan.execute()
+            rows.extend(result)
+
+        self.env.process(runner(self.env))
+        self.env.run()
+        return rows
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def completed_requests(self) -> List[ActionRequest]:
+        """Every action request that finished dispatch, oldest first."""
+        return self.dispatcher.completed
+
+    def device_report(self) -> Dict[str, Dict[str, Any]]:
+        """Per-device utilization snapshot.
+
+        Reports what the paper's objective cares about — how evenly the
+        action workload landed on the devices ("balance the action
+        workload on all available devices and improve device
+        utilization", Section 5.1).
+        """
+        horizon = self.env.now
+        report: Dict[str, Dict[str, Any]] = {}
+        for device in self.comm.registry:
+            report[device.device_id] = {
+                "device_type": device.device_type,
+                "state": device.state.value,
+                "operations": device.operations_executed,
+                "busy_seconds": device.busy_seconds,
+                "utilization": (device.busy_seconds / horizon
+                                if horizon > 0 else 0.0),
+            }
+        return report
+
+    def statistics(self) -> Dict[str, Any]:
+        """A status snapshot for monitoring and tests."""
+        serviced = sum(1 for r in self.completed_requests
+                       if r.state.value == "serviced")
+        failed = sum(1 for r in self.completed_requests
+                     if r.state.value == "failed")
+        return {
+            "virtual_time": self.env.now,
+            "devices": len(self.comm.registry),
+            "queries": len(self.continuous.queries),
+            "polls": self.continuous.polls,
+            "requests_completed": len(self.completed_requests),
+            "requests_serviced": serviced,
+            "requests_failed": failed,
+            "probes_sent": self.comm.prober.probes_sent,
+            "probes_failed": self.comm.prober.probes_failed,
+            "lock_acquisitions": self.locks.acquisitions,
+            "lock_contended": self.locks.contended_acquisitions,
+        }

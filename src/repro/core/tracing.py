@@ -1,0 +1,83 @@
+"""Structured engine tracing.
+
+A lightweight, always-on event log of what the engine did and when (in
+virtual time): events detected, requests emitted, batches dispatched,
+actions serviced or failed, probes missed. Tests and operators read it
+instead of sprinkling print statements through the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+#: Known trace kinds, for documentation and filtering.
+TRACE_KINDS = (
+    "event_detected",
+    "request_emitted",
+    "batch_dispatched",
+    "request_serviced",
+    "request_failed",
+    "probe_failed",
+    "query_registered",
+    "query_dropped",
+)
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One engine occurrence at a point in virtual time."""
+
+    at: float
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> Any:
+        return self.fields[name]
+
+    def __str__(self) -> str:
+        details = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return f"[{self.at:10.3f}s] {self.kind:18s} {details}"
+
+
+class EngineTracer:
+    """Collects trace records; optionally bounded to the newest N."""
+
+    def __init__(self, max_records: Optional[int] = 10_000) -> None:
+        self.max_records = max_records
+        self._records: List[TraceRecord] = []
+        #: Optional live listener (e.g. print) invoked on every record.
+        self.listener: Optional[Callable[[TraceRecord], None]] = None
+
+    def record(self, at: float, kind: str, **fields: Any) -> TraceRecord:
+        """Append one record (oldest evicted past ``max_records``)."""
+        entry = TraceRecord(at=at, kind=kind, fields=fields)
+        self._records.append(entry)
+        if self.max_records is not None \
+                and len(self._records) > self.max_records:
+            del self._records[0]
+        if self.listener is not None:
+            self.listener(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(list(self._records))
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All records of one kind, oldest first."""
+        return [r for r in self._records if r.kind == kind]
+
+    def since(self, timestamp: float) -> List[TraceRecord]:
+        """Records at or after ``timestamp``."""
+        return [r for r in self._records if r.at >= timestamp]
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._records.clear()
+
+    def tail(self, count: int = 20) -> str:
+        """The newest records, rendered one per line."""
+        return "\n".join(str(r) for r in self._records[-count:])

@@ -1,0 +1,20 @@
+"""The action cost model (paper Section 2.3).
+
+"The cost of an action is ... estimated based on the action profile and
+the estimated costs of the atomic operations on the type of devices."
+Because "an action execution may change the current physical status of
+the device", every estimate also returns the projected post-execution
+status, which schedulers chain to model sequence-dependent costs.
+"""
+
+from repro.cost.calibration import Calibrator, Measurement, calibrate_camera
+from repro.cost.model import CostEstimate, CostModel, QuantityResolver
+
+__all__ = [
+    "Calibrator",
+    "CostEstimate",
+    "CostModel",
+    "Measurement",
+    "QuantityResolver",
+    "calibrate_camera",
+]

@@ -1,0 +1,167 @@
+"""Cost estimation for actions on candidate devices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Protocol, Tuple
+
+from repro.errors import ProfileError, RegistrationError
+from repro.devices.base import Device
+from repro.profiles.action_profile import ActionProfile
+from repro.profiles.cost_table import CostTable
+
+#: A device physical-status snapshot, e.g. ``{"pan": 30.0, "tilt": -5.0}``.
+Status = Mapping[str, float]
+
+
+class QuantityResolver(Protocol):
+    """Turns (device, status, action args) into profile quantities.
+
+    A resolver knows the geometry/semantics of one action: for
+    ``photo()`` it computes how many degrees of pan and tilt separate
+    the device's current head pose from the pose that aims at the
+    action's target. It returns the resolved quantities *and* the
+    projected post-execution status — the input to the next estimate in
+    a sequence (the paper's sequence-dependent action execution time).
+    """
+
+    def __call__(
+        self, device: Device, status: Status, args: Mapping[str, Any]
+    ) -> Tuple[Dict[str, float], Dict[str, float]]:
+        """Return ``(quantities, post_status)``."""
+        ...
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """One estimate: seconds of service time plus the projected status."""
+
+    seconds: float
+    post_status: Dict[str, float] = field(default_factory=dict)
+    quantities: Dict[str, float] = field(default_factory=dict)
+
+
+class CostModel:
+    """Estimates action costs from profiles, cost tables and status.
+
+    Registration is two-part: cost tables per device type (from the
+    communication layer's profiles) and (action profile, resolver) pairs
+    per action/device-type combination.
+    """
+
+    def __init__(self) -> None:
+        self._cost_tables: Dict[str, CostTable] = {}
+        self._profiles: Dict[Tuple[str, str], ActionProfile] = {}
+        self._resolvers: Dict[Tuple[str, str], QuantityResolver] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_cost_table(self, table: CostTable) -> None:
+        """Register the atomic-operation costs of one device type."""
+        if table.device_type in self._cost_tables:
+            raise RegistrationError(
+                f"cost table for {table.device_type!r} already registered"
+            )
+        self._cost_tables[table.device_type] = table
+
+    def register_action(
+        self, profile: ActionProfile, resolver: QuantityResolver
+    ) -> None:
+        """Register an action's profile and its quantity resolver.
+
+        The profile is validated against the device type's cost table
+        immediately, so a typo'd operation name fails at registration
+        rather than mid-query.
+        """
+        key = (profile.action_name, profile.device_type)
+        if key in self._profiles:
+            raise RegistrationError(
+                f"action {profile.action_name!r} on {profile.device_type!r} "
+                f"already registered"
+            )
+        table = self._require_table(profile.device_type)
+        profile.validate_against(table)
+        self._profiles[key] = profile
+        self._resolvers[key] = resolver
+
+    def has_action(self, action_name: str, device_type: str) -> bool:
+        """Whether an estimate is possible for this combination."""
+        return (action_name, device_type) in self._profiles
+
+    def profile(self, action_name: str, device_type: str) -> ActionProfile:
+        """The registered profile, raising on unknown combinations."""
+        try:
+            return self._profiles[(action_name, device_type)]
+        except KeyError:
+            raise ProfileError(
+                f"no profile registered for action {action_name!r} on "
+                f"device type {device_type!r}"
+            ) from None
+
+    def _require_table(self, device_type: str) -> CostTable:
+        try:
+            return self._cost_tables[device_type]
+        except KeyError:
+            raise ProfileError(
+                f"no cost table registered for device type {device_type!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        action_name: str,
+        device: Device,
+        args: Mapping[str, Any],
+        status: Optional[Status] = None,
+    ) -> CostEstimate:
+        """Estimate one action execution on one candidate device.
+
+        ``status`` is the device's physical status to estimate *from* —
+        pass a probe result for the current status, or a previous
+        estimate's ``post_status`` to chain a sequence. ``None`` reads
+        the device's live status (convenient in tests; the optimizer
+        always passes probed status).
+        """
+        key = (action_name, device.device_type)
+        profile = self.profile(action_name, device.device_type)
+        table = self._require_table(device.device_type)
+        resolver = self._resolvers[key]
+        if status is None:
+            status = device.physical_status()
+        quantities, post_status = resolver(device, status, args)
+        missing = profile.required_quantities() - set(quantities)
+        if missing:
+            raise ProfileError(
+                f"resolver for {action_name!r} on {device.device_type!r} "
+                f"did not produce quantities: {sorted(missing)}"
+            )
+        seconds = profile.estimate(table, quantities)
+        return CostEstimate(
+            seconds=seconds,
+            post_status=dict(post_status),
+            quantities=dict(quantities),
+        )
+
+    def estimate_sequence(
+        self,
+        action_name: str,
+        device: Device,
+        args_sequence: list[Mapping[str, Any]],
+        status: Optional[Status] = None,
+    ) -> list[CostEstimate]:
+        """Estimate a sequence of executions, chaining post-status.
+
+        This is the primitive the schedulers build on: the cost of the
+        k-th action depends on where the (k-1)-th left the device.
+        """
+        if status is None:
+            status = device.physical_status()
+        estimates = []
+        for args in args_sequence:
+            estimate = self.estimate(action_name, device, args, status)
+            estimates.append(estimate)
+            status = estimate.post_status
+        return estimates

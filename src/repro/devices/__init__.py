@@ -1,0 +1,34 @@
+"""Simulated heterogeneous devices.
+
+The paper's testbed drives AXIS 2130 PTZ network cameras, Berkeley MICA2
+sensor motes and MMS-capable phones. This package provides simulated
+counterparts running on the discrete-event kernel. The camera model is
+calibrated so a ``photo()`` action costs 0.36–5.36 virtual seconds, the
+interval the paper measured on the real cameras (Section 6.3).
+"""
+
+from repro.devices.base import Device, DeviceState, OperationOutcome
+from repro.devices.camera import (
+    CameraCalibration,
+    HeadPosition,
+    PanTiltZoomCamera,
+    Photo,
+)
+from repro.devices.phone import MobilePhone, TextMessage
+from repro.devices.registry import DeviceRegistry
+from repro.devices.sensor import SensorMote, SensorStimulus
+
+__all__ = [
+    "CameraCalibration",
+    "Device",
+    "DeviceRegistry",
+    "DeviceState",
+    "HeadPosition",
+    "MobilePhone",
+    "OperationOutcome",
+    "PanTiltZoomCamera",
+    "Photo",
+    "SensorMote",
+    "SensorStimulus",
+    "TextMessage",
+]

@@ -1,0 +1,126 @@
+"""Failure injection for devices.
+
+Pervasive devices "are intrinsically unreliable" (Section 4). The
+injector schedules failure episodes on the simulation clock so tests
+and benchmarks can exercise the probing mechanism's exclusion of
+malfunctioning devices deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import DeviceError
+from repro.devices.base import Device
+from repro.sim import Environment
+
+
+@dataclass(frozen=True)
+class OutageSpec:
+    """One planned outage episode for a device."""
+
+    device_id: str
+    start: float
+    duration: float
+    #: ``offline`` = clean leave and rejoin; ``crash`` = hard fault + repair.
+    kind: str = "offline"
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise DeviceError("outage duration must be positive")
+        if self.kind not in ("offline", "crash"):
+            raise DeviceError(f"unknown outage kind {self.kind!r}")
+
+
+class FailureInjector:
+    """Schedules outage episodes onto simulated devices."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.scheduled: List[OutageSpec] = []
+
+    def schedule_outage(self, device: Device, spec: OutageSpec) -> None:
+        """Arrange for ``device`` to fail per ``spec``."""
+        if spec.device_id != device.device_id:
+            raise DeviceError(
+                f"outage for {spec.device_id!r} scheduled on device "
+                f"{device.device_id!r}"
+            )
+        self.scheduled.append(spec)
+        self.env.process(self._run_outage(device, spec))
+
+    def _run_outage(self, device: Device, spec: OutageSpec):
+        delay = spec.start - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        if spec.kind == "offline":
+            device.go_offline()
+        else:
+            device.crash()
+        yield self.env.timeout(spec.duration)
+        if spec.kind == "offline":
+            device.go_online()
+        else:
+            device.repair()
+
+    def schedule_coverage_dropout(
+        self, phone: "MobilePhone", start: float, duration: float
+    ) -> None:
+        """The phone's owner walks out of carrier coverage for a while.
+
+        Distinct from an outage: the device is powered and healthy, but
+        the network cannot reach it — the paper's "a phone may become
+        unreachable when its owner moves into an area that is out of
+        the coverage of the service provider" (Section 4).
+        """
+        from repro.devices.phone import MobilePhone
+        if not isinstance(phone, MobilePhone):
+            raise DeviceError(
+                f"coverage dropouts only apply to phones, not "
+                f"{phone.device_type!r}"
+            )
+        if duration <= 0:
+            raise DeviceError("dropout duration must be positive")
+        self.env.process(self._run_dropout(phone, start, duration))
+
+    def _run_dropout(self, phone, start: float, duration: float):
+        delay = start - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        phone.leave_coverage()
+        yield self.env.timeout(duration)
+        phone.enter_coverage()
+
+    def random_outages(
+        self,
+        devices: List[Device],
+        *,
+        horizon: float,
+        outage_rate_per_device: float,
+        mean_duration: float,
+        rng: Optional[random.Random] = None,
+    ) -> int:
+        """Poisson-like random outages across ``devices``.
+
+        Returns the number of episodes scheduled. Deterministic given
+        an explicit ``rng``.
+        """
+        if horizon <= 0:
+            raise DeviceError("horizon must be positive")
+        rng = rng or random.Random(0)
+        count = 0
+        for device in devices:
+            expected = outage_rate_per_device * horizon
+            episodes = int(expected) + (1 if rng.random() < expected % 1 else 0)
+            for _ in range(episodes):
+                start = self.env.now + rng.uniform(0, horizon)
+                duration = max(rng.expovariate(1.0 / mean_duration), 1e-3)
+                kind = "crash" if rng.random() < 0.2 else "offline"
+                self.schedule_outage(device, OutageSpec(
+                    device_id=device.device_id, start=start,
+                    duration=duration, kind=kind,
+                ))
+                count += 1
+        return count

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the Aorta framework.
+
+Every error raised by :mod:`repro` derives from :class:`AortaError`, so
+applications can catch framework failures with a single ``except`` clause
+while still being able to discriminate the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class AortaError(Exception):
+    """Base class for all Aorta framework errors."""
+
+
+class SimulationError(AortaError):
+    """The discrete-event kernel was used incorrectly."""
+
+
+class DeviceError(AortaError):
+    """A device-level failure (unknown device, bad operation, crash)."""
+
+
+class DeviceUnavailableError(DeviceError):
+    """The device did not respond within its probe TIMEOUT."""
+
+
+class DeviceBusyError(DeviceError):
+    """An action was submitted to a device that is locked by another action."""
+
+
+class ActionFailedError(DeviceError):
+    """An action executed on a device but did not complete correctly."""
+
+    def __init__(self, message: str, *, reason: str = "unknown") -> None:
+        super().__init__(message)
+        #: Machine-readable failure reason: ``timeout``, ``blurred``,
+        #: ``wrong_position``, ``device_crash``, ``no_coverage`` ...
+        self.reason = reason
+
+
+class CommunicationError(AortaError):
+    """A transport-level failure in the uniform communication layer."""
+
+
+class ConnectionTimeoutError(CommunicationError):
+    """connect() or a request/response exchange exceeded its deadline."""
+
+
+class ProfileError(AortaError):
+    """A device or action profile is malformed or inconsistent."""
+
+
+class QueryError(AortaError):
+    """Base class for declarative-interface errors."""
+
+
+class ParseError(QueryError):
+    """The SQL text could not be parsed."""
+
+    def __init__(self, message: str, *, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class BindingError(QueryError):
+    """A query referenced an unknown table, attribute, action or function."""
+
+
+class PlanError(QueryError):
+    """A valid AST could not be turned into an executable plan."""
+
+
+class SchedulingError(AortaError):
+    """The action workload scheduling subsystem was misused."""
+
+
+class InfeasibleScheduleError(SchedulingError):
+    """A request has an empty candidate device set."""
+
+
+class RegistrationError(AortaError):
+    """An action, query or device was registered twice or inconsistently."""

@@ -1,0 +1,84 @@
+"""2-D geometry for the pervasive lab: locations, angles, view cones.
+
+The paper's ``coverage(camera_id, location)`` built-in returns TRUE when
+the camera's view range covers a location. We model the lab floor as a
+2-D plane; a camera has a mount point, a pannable field of view (an
+angular sector) and a maximum view distance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Point:
+    """A location on the lab floor, in metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def bearing_to(self, other: "Point") -> float:
+        """Bearing from this point to ``other`` in degrees, in [-180, 180).
+
+        0 degrees points along +x; angles grow counter-clockwise.
+        """
+        angle = math.degrees(math.atan2(other.y - self.y, other.x - self.x))
+        return normalize_angle(angle)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+
+def normalize_angle(degrees: float) -> float:
+    """Fold an angle into the canonical interval [-180, 180)."""
+    folded = math.fmod(degrees + 180.0, 360.0)
+    if folded < 0:
+        folded += 360.0
+    return folded - 180.0
+
+
+def angle_difference(a: float, b: float) -> float:
+    """Smallest absolute difference between two angles, in [0, 180]."""
+    return abs(normalize_angle(a - b))
+
+
+@dataclass(frozen=True)
+class ViewSector:
+    """An angular sector with bounded range: a camera's reachable view.
+
+    ``center`` is the sector's central bearing in degrees; ``half_angle``
+    is half the angular width (so a full-circle camera uses 180); and
+    ``max_range`` bounds the usable viewing distance in metres.
+    """
+
+    origin: Point
+    center: float
+    half_angle: float
+    max_range: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.half_angle <= 180:
+            raise ValueError(f"half_angle must be in (0, 180], got {self.half_angle}")
+        if self.max_range <= 0:
+            raise ValueError(f"max_range must be positive, got {self.max_range}")
+
+    def covers(self, target: Point) -> bool:
+        """Whether ``target`` lies inside the sector (range and angle)."""
+        distance = self.origin.distance_to(target)
+        if distance > self.max_range:
+            return False
+        if distance == 0.0:
+            return True
+        bearing = self.origin.bearing_to(target)
+        return angle_difference(bearing, self.center) <= self.half_angle
+
+    def bearing_of(self, target: Point) -> float:
+        """Bearing from the sector origin to ``target`` in degrees."""
+        return self.origin.bearing_to(target)

@@ -1,0 +1,21 @@
+"""Simulated heterogeneous device networking.
+
+Each device type reaches the Aorta host over a different medium — LAN
+HTTP for cameras, a lossy multi-hop radio for motes, a carrier network
+for phones. This package models those media as :class:`LinkModel`
+parameters and provides a message-based :class:`Transport` with the
+timeout semantics the probing mechanism (Section 4) relies on.
+"""
+
+from repro.network.link import DEFAULT_LINKS, LinkModel
+from repro.network.message import Message, Response
+from repro.network.transport import Connection, Transport
+
+__all__ = [
+    "Connection",
+    "DEFAULT_LINKS",
+    "LinkModel",
+    "Message",
+    "Response",
+    "Transport",
+]

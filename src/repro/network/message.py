@@ -1,0 +1,38 @@
+"""Wire messages exchanged between the engine and devices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.errors import CommunicationError
+
+#: Message kinds understood by every device endpoint.
+MESSAGE_KINDS = ("ping", "read_attribute", "status", "execute")
+
+
+@dataclass(frozen=True)
+class Message:
+    """A request from the engine to a device."""
+
+    kind: str
+    device_id: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in MESSAGE_KINDS:
+            raise CommunicationError(
+                f"unknown message kind {self.kind!r}; "
+                f"expected one of {MESSAGE_KINDS}"
+            )
+
+
+@dataclass(frozen=True)
+class Response:
+    """A device's answer to a :class:`Message`."""
+
+    device_id: str
+    ok: bool
+    value: Any = None
+    error: str = ""
+    round_trip_seconds: float = 0.0

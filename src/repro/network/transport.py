@@ -1,0 +1,154 @@
+"""Message transport between the Aorta host and devices.
+
+The transport simulates the physical exchange: a connection handshake,
+request/response round trips with medium-specific latency, packet loss
+manifesting as silence (the caller burns its timeout), and devices that
+left the network never answering at all. These are exactly the failure
+behaviours the probing mechanism of Section 4 must detect and contain.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Generator, Optional
+
+from repro.errors import (
+    CommunicationError,
+    ConnectionTimeoutError,
+    DeviceError,
+)
+from repro.devices.base import Device
+from repro.network.link import DEFAULT_LINKS, LinkModel
+from repro.network.message import Message, Response
+from repro.sim import Environment
+
+
+class Connection:
+    """An open control channel to one device."""
+
+    def __init__(self, transport: "Transport", device: Device,
+                 link: LinkModel) -> None:
+        self._transport = transport
+        self.device = device
+        self.link = link
+        self.opened_at = transport.env.now
+        self.closed = False
+        self.exchanges = 0
+
+    def request(
+        self, message: Message, timeout: float
+    ) -> Generator[Any, Any, Response]:
+        """One request/response round trip.
+
+        A lost packet is silence: the caller waits out ``timeout`` and
+        gets :class:`ConnectionTimeoutError`, just like probing a dead
+        mote. Device-side errors come back as ``ok=False`` responses.
+        """
+        if self.closed:
+            raise CommunicationError("request on a closed connection")
+        if message.device_id != self.device.device_id:
+            raise CommunicationError(
+                f"message addressed to {message.device_id!r} sent over a "
+                f"connection to {self.device.device_id!r}"
+            )
+        env = self._transport.env
+        rng = self._transport.rng
+        started = env.now
+        self.exchanges += 1
+
+        if not self.device.reachable or self.link.drops(rng):
+            yield env.timeout(timeout)
+            raise ConnectionTimeoutError(
+                f"device {self.device.device_id!r} did not answer within "
+                f"{timeout} s"
+            )
+
+        # Uplink latency.
+        yield env.timeout(self.link.sample_latency(rng))
+        # Device-side handling (may consume device time for `execute`).
+        try:
+            value = yield from self._transport._handle(self.device, message)
+            ok, error = True, ""
+        except (DeviceError, CommunicationError) as exc:
+            value, ok, error = None, False, str(exc)
+        # Downlink latency.
+        yield env.timeout(self.link.sample_latency(rng))
+        if not self.device.reachable:
+            raise ConnectionTimeoutError(
+                f"device {self.device.device_id!r} went away mid-exchange"
+            )
+        return Response(
+            device_id=self.device.device_id,
+            ok=ok,
+            value=value,
+            error=error,
+            round_trip_seconds=env.now - started,
+        )
+
+    def close(self) -> None:
+        """Release the channel. Idempotent."""
+        self.closed = True
+
+
+class Transport:
+    """Factory of connections over per-type link models."""
+
+    def __init__(
+        self,
+        env: Environment,
+        *,
+        links: Optional[Dict[str, LinkModel]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.env = env
+        self.links = dict(DEFAULT_LINKS if links is None else links)
+        self.rng = rng or random.Random(0)
+
+    def link_for(self, device: Device) -> LinkModel:
+        """The link model of the device's medium."""
+        try:
+            return self.links[device.device_type]
+        except KeyError:
+            raise CommunicationError(
+                f"no link model registered for device type "
+                f"{device.device_type!r}"
+            ) from None
+
+    def connect(
+        self, device: Device, timeout: float
+    ) -> Generator[Any, Any, Connection]:
+        """Open a connection; an unreachable device costs the full timeout."""
+        if timeout <= 0:
+            raise CommunicationError(f"timeout must be positive, got {timeout}")
+        link = self.link_for(device)
+        if not device.reachable or link.drops(self.rng):
+            yield self.env.timeout(timeout)
+            raise ConnectionTimeoutError(
+                f"connect to {device.device_id!r} timed out after {timeout} s"
+            )
+        handshake = 2 * link.sample_latency(self.rng)
+        if handshake >= timeout:
+            yield self.env.timeout(timeout)
+            raise ConnectionTimeoutError(
+                f"connect to {device.device_id!r} timed out after {timeout} s"
+            )
+        yield self.env.timeout(handshake)
+        return Connection(self, device, link)
+
+    def _handle(
+        self, device: Device, message: Message
+    ) -> Generator[Any, Any, Any]:
+        """Device-side message dispatch."""
+        if message.kind == "ping":
+            return {"ok": True, "device_type": device.device_type}
+        if message.kind == "read_attribute":
+            return device.read_sensory(message.payload["name"])
+        if message.kind == "status":
+            return device.physical_status()
+        if message.kind == "execute":
+            operation = message.payload["operation"]
+            params = message.payload.get("params", {})
+            outcome = yield from device.execute(operation, **params)
+            return outcome
+        raise CommunicationError(f"unhandled message kind {message.kind!r}")
+        yield  # pragma: no cover - makes this a generator on all paths

@@ -1,0 +1,31 @@
+"""Query plans (paper Section 2.3).
+
+Actions are "first-class citizens (query operators) inside query
+execution plans". The planner turns a parsed AQ into a
+:class:`ContinuousPlan` — event scan, event predicate, candidate
+predicate and a shared action operator — and a plain SELECT into a
+:class:`SnapshotPlan` of scan/join/filter/project operators over the
+virtual device tables.
+"""
+
+from repro.plan.action_op import SharedActionOperator
+from repro.plan.operators import (
+    FilterOp,
+    JoinOp,
+    Operator,
+    ProjectOp,
+    TableScanOp,
+)
+from repro.plan.planner import ContinuousPlan, Planner, SnapshotPlan
+
+__all__ = [
+    "ContinuousPlan",
+    "FilterOp",
+    "JoinOp",
+    "Operator",
+    "Planner",
+    "ProjectOp",
+    "SharedActionOperator",
+    "SnapshotPlan",
+    "TableScanOp",
+]

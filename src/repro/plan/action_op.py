@@ -1,0 +1,92 @@
+"""The shared action operator.
+
+"We make concurrent queries that have the same embedded action ...
+share a single action operator in their query plans. We add the query
+ID to the input tuples of a query so that the operator knows which
+tuples are for which query. Such action operator sharing saves system
+resources and facilitates group optimization of actions." (Section 2.3)
+
+Group optimization happens downstream: the dispatcher drains a shared
+operator's pending requests as one batch and schedules them together —
+this is precisely the "multiple action requests ... appear in the
+optimizer at the same time or within a short time interval" scenario
+the scheduling algorithms of Section 5 exist for.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set
+
+from repro.errors import RegistrationError, SchedulingError
+from repro.actions.action import ActionDefinition
+from repro.actions.request import ActionRequest
+
+
+class SharedActionOperator:
+    """One action operator shared by every query embedding the action."""
+
+    def __init__(self, action: ActionDefinition) -> None:
+        self.action = action
+        self._attached_queries: Set[str] = set()
+        self._pending: List[ActionRequest] = []
+        #: Called on every submit, so the dispatcher can wake up.
+        self.on_submit: Optional[Callable[[ActionRequest], None]] = None
+        #: Lifetime counters for observability.
+        self.total_submitted = 0
+        self.total_drained = 0
+
+    # ------------------------------------------------------------------
+    # Query attachment
+    # ------------------------------------------------------------------
+    def attach(self, query_id: str) -> None:
+        """A query embedding this action starts sharing the operator."""
+        if query_id in self._attached_queries:
+            raise RegistrationError(
+                f"query {query_id!r} already attached to action "
+                f"{self.action.name!r}"
+            )
+        self._attached_queries.add(query_id)
+
+    def detach(self, query_id: str) -> None:
+        """A dropped query stops sharing; its pending requests vanish."""
+        self._attached_queries.discard(query_id)
+        self._pending = [r for r in self._pending if r.query_id != query_id]
+
+    @property
+    def attached_queries(self) -> Set[str]:
+        return set(self._attached_queries)
+
+    @property
+    def shared(self) -> bool:
+        """Whether more than one query currently shares this operator."""
+        return len(self._attached_queries) > 1
+
+    # ------------------------------------------------------------------
+    # Request flow
+    # ------------------------------------------------------------------
+    def submit(self, request: ActionRequest) -> None:
+        """A query hands over one instantiated action request."""
+        if request.action_name != self.action.name:
+            raise SchedulingError(
+                f"request for {request.action_name!r} submitted to the "
+                f"{self.action.name!r} operator"
+            )
+        if request.query_id and request.query_id not in self._attached_queries:
+            raise SchedulingError(
+                f"query {request.query_id!r} is not attached to action "
+                f"{self.action.name!r}"
+            )
+        self._pending.append(request)
+        self.total_submitted += 1
+        if self.on_submit is not None:
+            self.on_submit(request)
+
+    def drain(self) -> List[ActionRequest]:
+        """Take all pending requests (the optimizer's batch)."""
+        batch, self._pending = self._pending, []
+        self.total_drained += len(batch)
+        return batch
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)

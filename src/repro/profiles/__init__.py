@@ -1,0 +1,51 @@
+"""Device and action profiles (paper Section 3.1).
+
+Profiles are the declarative metadata of Aorta:
+
+* :class:`DeviceCatalog` — the attributes a device type exposes, split
+  into *sensory* (acquired live) and *non-sensory* (static) attributes.
+* :class:`CostTable` — the ``atomic_operation_cost.xml`` contents: the
+  estimated cost of every atomic operation on a device type.
+* :class:`ActionProfile` — the composition of an action as sequential
+  and/or parallel execution of atomic operations, plus which fields of
+  the device's physical status the action depends on.
+
+All three serialize to and from XML (:mod:`repro.profiles.xml_io`), as
+in the prototype.
+"""
+
+from repro.profiles.action_profile import (
+    ActionProfile,
+    CompositionNode,
+    OperationRef,
+    Parallel,
+    Sequence,
+)
+from repro.profiles.cost_table import AtomicOperationCost, CostTable
+from repro.profiles.schema import AttributeSpec, DeviceCatalog
+from repro.profiles.xml_io import (
+    action_profile_from_xml,
+    action_profile_to_xml,
+    catalog_from_xml,
+    catalog_to_xml,
+    cost_table_from_xml,
+    cost_table_to_xml,
+)
+
+__all__ = [
+    "ActionProfile",
+    "AtomicOperationCost",
+    "AttributeSpec",
+    "CompositionNode",
+    "CostTable",
+    "DeviceCatalog",
+    "OperationRef",
+    "Parallel",
+    "Sequence",
+    "action_profile_from_xml",
+    "action_profile_to_xml",
+    "catalog_from_xml",
+    "catalog_to_xml",
+    "cost_table_from_xml",
+    "cost_table_to_xml",
+]

@@ -1,0 +1,96 @@
+"""Atomic-operation cost tables (``atomic_operation_cost.xml``).
+
+An *atomic operation* is the smallest unit of operation a device type
+can perform (paper Section 3.1) — e.g. "take a medium photo" on a
+camera, "receive an MMS" on a phone, "beep once" on a sensor. The cost
+metric is the time in seconds to finish the operation; the paper found
+it to be nearly constant across devices of one type, so costs live in a
+per-type table rather than per device.
+
+Some operations scale with a quantity (panning a camera head costs time
+per degree), so each cost is ``fixed + per_unit * quantity``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+from repro.errors import ProfileError
+
+
+@dataclass(frozen=True)
+class AtomicOperationCost:
+    """Estimated cost of one atomic operation on a device type."""
+
+    name: str
+    #: Constant component, in seconds.
+    fixed_seconds: float
+    #: Variable component, in seconds per unit of ``unit``.
+    per_unit_seconds: float = 0.0
+    #: What the variable component scales with (``degrees``, ``bytes`` ...).
+    unit: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.fixed_seconds < 0 or self.per_unit_seconds < 0:
+            raise ProfileError(f"operation {self.name!r} has a negative cost")
+        if self.per_unit_seconds > 0 and not self.unit:
+            raise ProfileError(
+                f"operation {self.name!r} has a per-unit cost but no unit"
+            )
+
+    def estimate(self, quantity: float = 0.0) -> float:
+        """Estimated seconds to perform the operation on ``quantity`` units."""
+        if quantity < 0:
+            raise ProfileError(
+                f"operation {self.name!r} estimated with negative quantity"
+            )
+        return self.fixed_seconds + self.per_unit_seconds * quantity
+
+
+@dataclass
+class CostTable:
+    """All atomic-operation costs for one device type."""
+
+    device_type: str
+    operations: Dict[str, AtomicOperationCost] = field(default_factory=dict)
+
+    @classmethod
+    def from_operations(
+        cls, device_type: str, operations: Iterable[AtomicOperationCost]
+    ) -> "CostTable":
+        """Build a table from an iterable of operations, rejecting dupes."""
+        table = cls(device_type)
+        for op in operations:
+            table.add(op)
+        return table
+
+    def add(self, operation: AtomicOperationCost) -> None:
+        """Register an operation; duplicate names are an error."""
+        if operation.name in self.operations:
+            raise ProfileError(
+                f"duplicate atomic operation {operation.name!r} for "
+                f"{self.device_type!r}"
+            )
+        self.operations[operation.name] = operation
+
+    def operation(self, name: str) -> AtomicOperationCost:
+        """Look up an operation, raising on unknown names."""
+        try:
+            return self.operations[name]
+        except KeyError:
+            raise ProfileError(
+                f"device type {self.device_type!r} has no atomic operation "
+                f"{name!r}"
+            ) from None
+
+    def estimate(self, name: str, quantity: float = 0.0) -> float:
+        """Estimated seconds for operation ``name`` on ``quantity`` units."""
+        return self.operation(name).estimate(quantity)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.operations
+
+    def __len__(self) -> int:
+        return len(self.operations)

@@ -1,0 +1,138 @@
+"""On-disk profile store: the prototype's registered XML files.
+
+Aorta's device catalogs, cost tables and action profiles "are generated
+and registered to the system" as XML text files (Section 3.1). The
+store reads and writes that layout::
+
+    <root>/
+      catalogs/<device_type>.xml
+      costs/<device_type>.xml
+      actions/<action_name>.xml
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+from repro.errors import ProfileError
+from repro.profiles.action_profile import ActionProfile
+from repro.profiles.cost_table import CostTable
+from repro.profiles.schema import DeviceCatalog
+from repro.profiles.xml_io import (
+    action_profile_from_xml,
+    action_profile_to_xml,
+    catalog_from_xml,
+    catalog_to_xml,
+    cost_table_from_xml,
+    cost_table_to_xml,
+)
+
+_SUBDIRS = ("catalogs", "costs", "actions")
+
+
+class ProfileStore:
+    """Reads and writes the XML profile directory layout."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    def _path(self, kind: str, name: str) -> str:
+        if not name.isidentifier():
+            raise ProfileError(f"unsafe profile name {name!r}")
+        return os.path.join(self.root, kind, f"{name}.xml")
+
+    def _write(self, kind: str, name: str, xml_text: str) -> str:
+        path = self._path(kind, name)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(xml_text)
+        return path
+
+    def _read(self, kind: str, name: str) -> str:
+        path = self._path(kind, name)
+        if not os.path.exists(path):
+            raise ProfileError(f"no {kind[:-1]} profile at {path}")
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+
+    # ------------------------------------------------------------------
+    # Save
+    # ------------------------------------------------------------------
+    def save_catalog(self, catalog: DeviceCatalog) -> str:
+        """Persist a device catalog; returns the file path."""
+        return self._write("catalogs", catalog.device_type,
+                           catalog_to_xml(catalog))
+
+    def save_cost_table(self, table: CostTable) -> str:
+        """Persist an atomic-operation cost table."""
+        return self._write("costs", table.device_type,
+                           cost_table_to_xml(table))
+
+    def save_action_profile(self, profile: ActionProfile) -> str:
+        """Persist an action profile."""
+        return self._write("actions", profile.action_name,
+                           action_profile_to_xml(profile))
+
+    # ------------------------------------------------------------------
+    # Load
+    # ------------------------------------------------------------------
+    def load_catalog(self, device_type: str) -> DeviceCatalog:
+        """Load one device catalog by type name."""
+        return catalog_from_xml(self._read("catalogs", device_type))
+
+    def load_cost_table(self, device_type: str) -> CostTable:
+        """Load one cost table by type name."""
+        return cost_table_from_xml(self._read("costs", device_type))
+
+    def load_action_profile(self, action_name: str) -> ActionProfile:
+        """Load one action profile by action name."""
+        return action_profile_from_xml(self._read("actions", action_name))
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+    def _names(self, kind: str) -> List[str]:
+        directory = os.path.join(self.root, kind)
+        if not os.path.isdir(directory):
+            return []
+        return sorted(
+            os.path.splitext(entry)[0]
+            for entry in os.listdir(directory)
+            if entry.endswith(".xml")
+        )
+
+    def catalog_names(self) -> List[str]:
+        return self._names("catalogs")
+
+    def cost_table_names(self) -> List[str]:
+        return self._names("costs")
+
+    def action_profile_names(self) -> List[str]:
+        return self._names("actions")
+
+    def load_all_catalogs(self) -> Dict[str, DeviceCatalog]:
+        """All stored catalogs, keyed by device type."""
+        return {name: self.load_catalog(name)
+                for name in self.catalog_names()}
+
+    def save_builtin_profiles(self) -> List[str]:
+        """Persist the shipped device-type and action profiles."""
+        from repro.actions.builtins import (
+            builtin_definitions,
+            sendphoto_definition,
+        )
+        from repro.profiles.defaults import (
+            camera_catalog, camera_cost_table,
+            phone_catalog, phone_cost_table,
+            sensor_catalog, sensor_cost_table,
+        )
+        paths = []
+        for catalog in (camera_catalog(), sensor_catalog(), phone_catalog()):
+            paths.append(self.save_catalog(catalog))
+        for table in (camera_cost_table(), sensor_cost_table(),
+                      phone_cost_table()):
+            paths.append(self.save_cost_table(table))
+        for definition in builtin_definitions() + [sendphoto_definition()]:
+            paths.append(self.save_action_profile(definition.profile))
+        return paths

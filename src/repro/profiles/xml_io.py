@@ -1,0 +1,201 @@
+"""XML serialization for profiles.
+
+The Aorta prototype stored device catalogs, atomic-operation cost tables
+and action profiles as XML text files registered with the system. We
+keep the same representation so profiles can be authored, versioned and
+inspected outside the engine. All functions here round-trip:
+``X_from_xml(X_to_xml(x)) == x``.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.errors import ProfileError
+from repro.profiles.action_profile import (
+    ActionProfile,
+    CompositionNode,
+    OperationRef,
+    Parallel,
+    Sequence,
+)
+from repro.profiles.cost_table import AtomicOperationCost, CostTable
+from repro.profiles.schema import AttributeSpec, DeviceCatalog
+
+
+def _parse_root(xml_text: str, expected_tag: str) -> ET.Element:
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise ProfileError(f"malformed profile XML: {exc}") from exc
+    if root.tag != expected_tag:
+        raise ProfileError(
+            f"expected <{expected_tag}> document, found <{root.tag}>"
+        )
+    return root
+
+
+def _require(element: ET.Element, attribute: str) -> str:
+    value = element.get(attribute)
+    if value is None:
+        raise ProfileError(
+            f"<{element.tag}> element is missing required attribute "
+            f"{attribute!r}"
+        )
+    return value
+
+
+# ----------------------------------------------------------------------
+# Device catalogs
+# ----------------------------------------------------------------------
+
+def catalog_to_xml(catalog: DeviceCatalog) -> str:
+    """Serialize a device catalog to an XML string."""
+    root = ET.Element("device_catalog", {
+        "device_type": catalog.device_type,
+        "model": catalog.model,
+        "description": catalog.description,
+    })
+    for attr in catalog.attributes:
+        ET.SubElement(root, "attribute", {
+            "name": attr.name,
+            "type": attr.type_name,
+            "sensory": "true" if attr.sensory else "false",
+            "unit": attr.unit,
+            "description": attr.description,
+            "acquisition_method": attr.acquisition_method,
+        })
+    return ET.tostring(root, encoding="unicode")
+
+
+def catalog_from_xml(xml_text: str) -> DeviceCatalog:
+    """Parse a device catalog from an XML string."""
+    root = _parse_root(xml_text, "device_catalog")
+    attributes = [
+        AttributeSpec(
+            name=_require(el, "name"),
+            type_name=_require(el, "type"),
+            sensory=_require(el, "sensory") == "true",
+            unit=el.get("unit", ""),
+            description=el.get("description", ""),
+            acquisition_method=el.get("acquisition_method", ""),
+        )
+        for el in root.findall("attribute")
+    ]
+    return DeviceCatalog(
+        device_type=_require(root, "device_type"),
+        model=root.get("model", ""),
+        description=root.get("description", ""),
+        attributes=attributes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Atomic-operation cost tables
+# ----------------------------------------------------------------------
+
+def cost_table_to_xml(table: CostTable) -> str:
+    """Serialize an ``atomic_operation_cost`` table to XML."""
+    root = ET.Element("atomic_operation_cost", {"device_type": table.device_type})
+    for op in table.operations.values():
+        ET.SubElement(root, "operation", {
+            "name": op.name,
+            "fixed_seconds": repr(op.fixed_seconds),
+            "per_unit_seconds": repr(op.per_unit_seconds),
+            "unit": op.unit,
+            "description": op.description,
+        })
+    return ET.tostring(root, encoding="unicode")
+
+
+def cost_table_from_xml(xml_text: str) -> CostTable:
+    """Parse an ``atomic_operation_cost`` table from XML."""
+    root = _parse_root(xml_text, "atomic_operation_cost")
+    table = CostTable(_require(root, "device_type"))
+    for el in root.findall("operation"):
+        try:
+            fixed = float(_require(el, "fixed_seconds"))
+            per_unit = float(el.get("per_unit_seconds", "0.0"))
+        except ValueError as exc:
+            raise ProfileError(f"non-numeric cost in operation element: {exc}") from exc
+        table.add(AtomicOperationCost(
+            name=_require(el, "name"),
+            fixed_seconds=fixed,
+            per_unit_seconds=per_unit,
+            unit=el.get("unit", ""),
+            description=el.get("description", ""),
+        ))
+    return table
+
+
+# ----------------------------------------------------------------------
+# Action profiles
+# ----------------------------------------------------------------------
+
+def _composition_to_element(node: CompositionNode) -> ET.Element:
+    if isinstance(node, OperationRef):
+        attrs = {"name": node.operation}
+        if node.quantity:
+            attrs["quantity"] = node.quantity
+        return ET.Element("op", attrs)
+    if isinstance(node, Sequence):
+        element = ET.Element("seq")
+    elif isinstance(node, Parallel):
+        element = ET.Element("par")
+    else:
+        raise ProfileError(f"unknown composition node {type(node).__name__}")
+    for child in node.children:
+        element.append(_composition_to_element(child))
+    return element
+
+
+def _composition_from_element(element: ET.Element) -> CompositionNode:
+    if element.tag == "op":
+        return OperationRef(
+            operation=_require(element, "name"),
+            quantity=element.get("quantity", ""),
+        )
+    children = tuple(_composition_from_element(child) for child in element)
+    if element.tag == "seq":
+        return Sequence(children)
+    if element.tag == "par":
+        return Parallel(children)
+    raise ProfileError(f"unknown composition element <{element.tag}>")
+
+
+def action_profile_to_xml(profile: ActionProfile) -> str:
+    """Serialize an action profile to XML."""
+    root = ET.Element("action_profile", {
+        "action": profile.action_name,
+        "device_type": profile.device_type,
+        "description": profile.description,
+    })
+    status = ET.SubElement(root, "status_fields")
+    for name in profile.status_fields:
+        ET.SubElement(status, "field", {"name": name})
+    composition = ET.SubElement(root, "composition")
+    composition.append(_composition_to_element(profile.composition))
+    return ET.tostring(root, encoding="unicode")
+
+
+def action_profile_from_xml(xml_text: str) -> ActionProfile:
+    """Parse an action profile from XML."""
+    root = _parse_root(xml_text, "action_profile")
+    status = root.find("status_fields")
+    status_fields = (
+        [_require(el, "name") for el in status.findall("field")]
+        if status is not None
+        else []
+    )
+    composition_holder = root.find("composition")
+    if composition_holder is None or len(composition_holder) != 1:
+        raise ProfileError(
+            "action profile needs exactly one <composition> child tree"
+        )
+    return ActionProfile(
+        action_name=_require(root, "action"),
+        device_type=_require(root, "device_type"),
+        composition=_composition_from_element(composition_holder[0]),
+        status_fields=status_fields,
+        description=root.get("description", ""),
+    )

@@ -1,0 +1,66 @@
+"""The declarative application interface (paper Section 2.2).
+
+An extended-SQL dialect covering the paper's command set:
+
+* ``CREATE ACTION name(Type param, ...) AS "lib/..." PROFILE "..."``
+* ``CREATE AQ name AS SELECT ... FROM ... WHERE ...``
+* ``DROP AQ name``
+* plain ``SELECT`` over the virtual device tables (one-shot snapshots)
+
+The pipeline is classic: :mod:`tokens` lexes, :mod:`parser` builds the
+:mod:`ast`, :mod:`expressions` evaluates bound expressions over device
+tuples, :mod:`catalog` resolves table/column references and
+:mod:`functions` hosts built-in predicates like ``coverage()``.
+"""
+
+from repro.query.ast import (
+    Arithmetic,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    CreateActionStatement,
+    CreateAQStatement,
+    DropAQStatement,
+    ExplainStatement,
+    FunctionCall,
+    Literal,
+    Negate,
+    Not,
+    SelectQuery,
+    Star,
+    Statement,
+    TableRef,
+)
+from repro.query.catalog import SchemaCatalog
+from repro.query.expressions import EvaluationContext, evaluate
+from repro.query.functions import FunctionRegistry
+from repro.query.parser import parse, parse_expression
+from repro.query.tokens import Token, TokenKind, tokenize
+
+__all__ = [
+    "Arithmetic",
+    "BooleanOp",
+    "ColumnRef",
+    "Comparison",
+    "CreateActionStatement",
+    "CreateAQStatement",
+    "DropAQStatement",
+    "EvaluationContext",
+    "ExplainStatement",
+    "FunctionCall",
+    "FunctionRegistry",
+    "Literal",
+    "Negate",
+    "Not",
+    "SchemaCatalog",
+    "SelectQuery",
+    "Star",
+    "Statement",
+    "TableRef",
+    "Token",
+    "TokenKind",
+    "evaluate",
+    "parse",
+    "parse_expression",
+    "tokenize",
+]

@@ -1,0 +1,174 @@
+"""Expression evaluation over device tuples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import BindingError, QueryError
+from repro.geometry import Point
+from repro.comm.tuples import DeviceTuple
+from repro.query.ast import (
+    Arithmetic,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    Expression,
+    FunctionCall,
+    Literal,
+    Negate,
+    Not,
+    Star,
+)
+from repro.query.functions import FunctionRegistry
+
+#: Pseudo-column: ``alias.loc`` combines loc_x/loc_y into a Point. The
+#: paper's queries pass ``s.loc`` to actions and to coverage().
+LOCATION_PSEUDO_COLUMN = "loc"
+
+
+@dataclass
+class EvaluationContext:
+    """Bindings for one evaluation: alias -> tuple, plus functions."""
+
+    tuples: Dict[str, DeviceTuple] = field(default_factory=dict)
+    functions: Optional[FunctionRegistry] = None
+
+    def bind(self, alias: str, row: DeviceTuple) -> "EvaluationContext":
+        """A new context with one more alias bound."""
+        merged = dict(self.tuples)
+        merged[alias] = row
+        return EvaluationContext(tuples=merged, functions=self.functions)
+
+
+def _resolve_column(ref: ColumnRef, context: EvaluationContext) -> Any:
+    if ref.qualifier:
+        if ref.qualifier not in context.tuples:
+            raise BindingError(
+                f"unknown table alias {ref.qualifier!r} in "
+                f"{ref.qualifier}.{ref.name}"
+            )
+        candidates = {ref.qualifier: context.tuples[ref.qualifier]}
+    else:
+        candidates = {
+            alias: row for alias, row in context.tuples.items()
+            if ref.name in row or (
+                ref.name == LOCATION_PSEUDO_COLUMN
+                and "loc_x" in row and "loc_y" in row)
+        }
+        if len(candidates) > 1:
+            raise BindingError(
+                f"ambiguous column {ref.name!r}: present in aliases "
+                f"{sorted(candidates)}"
+            )
+        if not candidates:
+            raise BindingError(f"unknown column {ref.name!r}")
+    alias, row = next(iter(candidates.items()))
+    if ref.name == LOCATION_PSEUDO_COLUMN and ref.name not in row:
+        return Point(row["loc_x"], row["loc_y"])
+    return row[ref.name]
+
+
+_NUMERIC = (int, float)
+
+
+def _compare(op: str, left: Any, right: Any) -> bool:
+    if op in ("=", "<>"):
+        equal = left == right
+        return equal if op == "=" else not equal
+    comparable = (
+        (isinstance(left, _NUMERIC) and isinstance(right, _NUMERIC))
+        or (isinstance(left, str) and isinstance(right, str))
+    )
+    if not comparable:
+        raise QueryError(
+            f"cannot compare {type(left).__name__} with "
+            f"{type(right).__name__} using {op!r}"
+        )
+    if op == ">":
+        return left > right
+    if op == "<":
+        return left < right
+    if op == ">=":
+        return left >= right
+    if op == "<=":
+        return left <= right
+    raise QueryError(f"unknown comparison operator {op!r}")
+
+
+def _arithmetic(op: str, left: Any, right: Any) -> Any:
+    if op == "+" and isinstance(left, str) and isinstance(right, str):
+        return left + right  # SQL-ish string concatenation
+    for operand in (left, right):
+        if not isinstance(operand, _NUMERIC) or isinstance(operand, bool):
+            raise QueryError(
+                f"arithmetic {op!r} needs numbers, got "
+                f"{type(operand).__name__}"
+            )
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise QueryError("division by zero in query expression")
+        return left / right
+    raise QueryError(f"unknown arithmetic operator {op!r}")
+
+
+def evaluate(expression: Expression, context: EvaluationContext) -> Any:
+    """Evaluate an expression against bound tuples.
+
+    Booleans short-circuit; functions dispatch through the context's
+    registry. ``Star`` has no value — the projection layer expands it.
+    """
+    if isinstance(expression, Literal):
+        return expression.value
+    if isinstance(expression, ColumnRef):
+        return _resolve_column(expression, context)
+    if isinstance(expression, Comparison):
+        left = evaluate(expression.left, context)
+        right = evaluate(expression.right, context)
+        return _compare(expression.op, left, right)
+    if isinstance(expression, Arithmetic):
+        left = evaluate(expression.left, context)
+        right = evaluate(expression.right, context)
+        return _arithmetic(expression.op, left, right)
+    if isinstance(expression, Negate):
+        value = evaluate(expression.operand, context)
+        if not isinstance(value, _NUMERIC) or isinstance(value, bool):
+            raise QueryError(
+                f"cannot negate a {type(value).__name__}"
+            )
+        return -value
+    if isinstance(expression, BooleanOp):
+        if expression.op == "AND":
+            return all(_as_bool(operand, context)
+                       for operand in expression.operands)
+        return any(_as_bool(operand, context)
+                   for operand in expression.operands)
+    if isinstance(expression, Not):
+        return not _as_bool(expression.operand, context)
+    if isinstance(expression, FunctionCall):
+        if context.functions is None:
+            raise BindingError(
+                f"no function registry available to call "
+                f"{expression.name!r}"
+            )
+        args = [evaluate(arg, context) for arg in expression.args]
+        return context.functions.call(expression.name, args)
+    if isinstance(expression, Star):
+        raise QueryError("'*' is only legal as a SELECT item")
+    raise QueryError(f"cannot evaluate {type(expression).__name__}")
+
+
+def _as_bool(expression: Expression, context: EvaluationContext) -> bool:
+    value = evaluate(expression, context)
+    if not isinstance(value, bool):
+        raise QueryError(
+            f"expected a boolean condition, {expression} evaluated to "
+            f"{type(value).__name__}"
+        )
+    return value

@@ -1,0 +1,317 @@
+"""Recursive-descent parser for the Aorta SQL dialect.
+
+Grammar (precedence low to high): OR, AND, NOT, comparison, primary.
+
+::
+
+    statement      := create_action | create_aq | drop_aq | select
+    create_action  := CREATE ACTION ident '(' [param (',' param)*] ')'
+                      AS string PROFILE string
+    param          := ident ident               -- Type name
+    create_aq      := CREATE AQ ident AS select
+    drop_aq        := DROP AQ ident
+    select         := SELECT select_item (',' select_item)*
+                      FROM table_ref (',' table_ref)* [WHERE expr]
+    select_item    := '*' | expr
+    table_ref      := ident [ident]              -- table [alias]
+    expr           := or_expr
+    or_expr        := and_expr (OR and_expr)*
+    and_expr       := not_expr (AND not_expr)*
+    not_expr       := NOT not_expr | comparison
+    comparison     := primary [op primary]
+    primary        := literal | func_call | column_ref | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.query.ast import (
+    ActionParameterDecl,
+    Arithmetic,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    Negate,
+    CreateActionStatement,
+    CreateAQStatement,
+    DropAQStatement,
+    ExplainStatement,
+    Expression,
+    FunctionCall,
+    Literal,
+    Not,
+    SelectQuery,
+    Star,
+    Statement,
+    TableRef,
+)
+from repro.query.tokens import Token, TokenKind, tokenize
+
+_COMPARISON_OPS = {">", "<", ">=", "<=", "=", "<>", "!="}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.END:
+            self._position += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        token = self.current
+        found = token.text or "end of input"
+        return ParseError(f"{message}, found {found!r}",
+                          line=token.line, column=token.column)
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise self._error(f"expected {word}")
+        return self._advance()
+
+    def _expect_identifier(self) -> str:
+        if self.current.kind is not TokenKind.IDENTIFIER:
+            raise self._error("expected an identifier")
+        return self._advance().text
+
+    def _expect_punct(self, char: str) -> None:
+        if not (self.current.kind is TokenKind.PUNCTUATION
+                and self.current.text == char):
+            raise self._error(f"expected {char!r}")
+        self._advance()
+
+    def _expect_string(self) -> str:
+        if self.current.kind is not TokenKind.STRING:
+            raise self._error("expected a string literal")
+        return self._advance().text
+
+    def _at_punct(self, char: str) -> bool:
+        return (self.current.kind is TokenKind.PUNCTUATION
+                and self.current.text == char)
+
+    def _accept_punct(self, char: str) -> bool:
+        if self._at_punct(char):
+            self._advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> Statement:
+        if self.current.is_keyword("EXPLAIN"):
+            self._advance()
+            return ExplainStatement(target=self.parse_statement())
+        if self.current.is_keyword("CREATE"):
+            self._advance()
+            if self.current.is_keyword("ACTION"):
+                return self._create_action()
+            if self.current.is_keyword("AQ"):
+                return self._create_aq()
+            raise self._error("expected ACTION or AQ after CREATE")
+        if self.current.is_keyword("DROP"):
+            self._advance()
+            self._expect_keyword("AQ")
+            return DropAQStatement(name=self._expect_identifier())
+        if self.current.is_keyword("SELECT"):
+            return self._select()
+        raise self._error("expected CREATE, DROP or SELECT")
+
+    def finish(self, statement: Statement) -> Statement:
+        self._accept_punct(";")
+        if self.current.kind is not TokenKind.END:
+            raise self._error("unexpected trailing input")
+        return statement
+
+    def _create_action(self) -> CreateActionStatement:
+        self._expect_keyword("ACTION")
+        name = self._expect_identifier()
+        self._expect_punct("(")
+        parameters: List[ActionParameterDecl] = []
+        if not self._at_punct(")"):
+            while True:
+                type_name = self._expect_identifier()
+                param_name = self._expect_identifier()
+                parameters.append(ActionParameterDecl(type_name, param_name))
+                if not self._accept_punct(","):
+                    break
+        self._expect_punct(")")
+        self._expect_keyword("AS")
+        library_path = self._expect_string()
+        self._expect_keyword("PROFILE")
+        profile_path = self._expect_string()
+        return CreateActionStatement(
+            name=name, parameters=tuple(parameters),
+            library_path=library_path, profile_path=profile_path)
+
+    def _create_aq(self) -> CreateAQStatement:
+        self._expect_keyword("AQ")
+        name = self._expect_identifier()
+        self._expect_keyword("AS")
+        return CreateAQStatement(name=name, query=self._select())
+
+    def _select(self) -> SelectQuery:
+        self._expect_keyword("SELECT")
+        items: List[Expression] = [self._select_item()]
+        while self._accept_punct(","):
+            items.append(self._select_item())
+        self._expect_keyword("FROM")
+        tables: List[TableRef] = [self._table_ref()]
+        while self._accept_punct(","):
+            tables.append(self._table_ref())
+        where: Optional[Expression] = None
+        if self.current.is_keyword("WHERE"):
+            self._advance()
+            where = self.parse_expression()
+        aliases = [t.alias for t in tables]
+        duplicates = {a for a in aliases if aliases.count(a) > 1}
+        if duplicates:
+            raise ParseError(
+                f"duplicate table alias(es): {sorted(duplicates)}")
+        return SelectQuery(select_items=tuple(items), tables=tuple(tables),
+                           where=where)
+
+    def _select_item(self) -> Expression:
+        if self._at_punct("*"):
+            self._advance()
+            return Star()
+        return self.parse_expression()
+
+    def _table_ref(self) -> TableRef:
+        table = self._expect_identifier()
+        if self.current.kind is TokenKind.IDENTIFIER:
+            alias = self._advance().text
+        else:
+            alias = table
+        return TableRef(table=table, alias=alias)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def parse_expression(self) -> Expression:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expression:
+        operands = [self._and_expr()]
+        while self.current.is_keyword("OR"):
+            self._advance()
+            operands.append(self._and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp(op="OR", operands=tuple(operands))
+
+    def _and_expr(self) -> Expression:
+        operands = [self._not_expr()]
+        while self.current.is_keyword("AND"):
+            self._advance()
+            operands.append(self._not_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp(op="AND", operands=tuple(operands))
+
+    def _not_expr(self) -> Expression:
+        if self.current.is_keyword("NOT"):
+            self._advance()
+            return Not(self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expression:
+        left = self._additive()
+        if (self.current.kind is TokenKind.OPERATOR
+                and self.current.text in _COMPARISON_OPS):
+            op = self._advance().text
+            if op == "!=":
+                op = "<>"
+            right = self._additive()
+            return Comparison(op=op, left=left, right=right)
+        return left
+
+    def _additive(self) -> Expression:
+        left = self._multiplicative()
+        while (self.current.kind is TokenKind.OPERATOR
+               and self.current.text in ("+", "-")):
+            op = self._advance().text
+            left = Arithmetic(op=op, left=left,
+                              right=self._multiplicative())
+        return left
+
+    def _multiplicative(self) -> Expression:
+        left = self._unary()
+        while ((self.current.kind is TokenKind.OPERATOR
+                and self.current.text == "/")
+               or self._at_punct("*")):
+            op = "*" if self._at_punct("*") else "/"
+            self._advance()
+            left = Arithmetic(op=op, left=left, right=self._unary())
+        return left
+
+    def _unary(self) -> Expression:
+        if (self.current.kind is TokenKind.OPERATOR
+                and self.current.text == "-"):
+            self._advance()
+            return Negate(self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expression:
+        token = self.current
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            is_float = "." in token.text or "e" in token.text \
+                or "E" in token.text
+            return Literal(float(token.text) if is_float
+                           else int(token.text))
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return Literal(token.text)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return Literal(False)
+        if self._accept_punct("("):
+            inner = self.parse_expression()
+            self._expect_punct(")")
+            return inner
+        if token.kind is TokenKind.IDENTIFIER:
+            name = self._advance().text
+            if self._accept_punct("("):
+                args: List[Expression] = []
+                if not self._at_punct(")"):
+                    args.append(self.parse_expression())
+                    while self._accept_punct(","):
+                        args.append(self.parse_expression())
+                self._expect_punct(")")
+                return FunctionCall(name=name, args=tuple(args))
+            if self._accept_punct("."):
+                column = self._expect_identifier()
+                return ColumnRef(qualifier=name, name=column)
+            return ColumnRef(qualifier="", name=name)
+        raise self._error("expected an expression")
+
+
+def parse(text: str) -> Statement:
+    """Parse one statement (optionally ``;``-terminated)."""
+    parser = _Parser(tokenize(text))
+    return parser.finish(parser.parse_statement())
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse a standalone expression (for tests and tooling)."""
+    parser = _Parser(tokenize(text))
+    expression = parser.parse_expression()
+    if parser.current.kind is not TokenKind.END:
+        raise parser._error("unexpected trailing input")
+    return expression

@@ -1,0 +1,146 @@
+"""Tokenizer for the Aorta SQL dialect."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import ParseError
+
+#: Reserved words, matched case-insensitively and normalized to upper.
+KEYWORDS = frozenset({
+    "CREATE", "DROP", "ACTION", "AQ", "AS", "PROFILE",
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT",
+    "TRUE", "FALSE", "EXPLAIN",
+})
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories of the dialect."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"      # > < >= <= = <> !=
+    PUNCTUATION = "punct"      # ( ) , . * ;
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position (1-based line/column)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word.upper()
+
+
+_OPERATORS = (">=", "<=", "<>", "!=", ">", "<", "=", "+", "-", "/")
+_PUNCTUATION = "(),.;*"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Lex ``text`` into tokens, ending with an END sentinel."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    line, column = 1, 1
+    index = 0
+    length = len(text)
+
+    def advance(count: int) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and text[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            advance(1)
+            continue
+        if char == "-" and text[index:index + 2] == "--":
+            # SQL line comment.
+            while index < length and text[index] != "\n":
+                advance(1)
+            continue
+        start_line, start_column = line, column
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[index:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token(TokenKind.KEYWORD, upper, start_line, start_column)
+            else:
+                yield Token(TokenKind.IDENTIFIER, word, start_line,
+                            start_column)
+            advance(end - index)
+            continue
+        if char.isdigit() or (char == "." and index + 1 < length
+                              and text[index + 1].isdigit()):
+            end = index
+            seen_dot = False
+            while end < length and (text[end].isdigit()
+                                    or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    # A dot not followed by a digit is punctuation
+                    # (e.g. ``1.`` is illegal, ``s.loc`` never gets here).
+                    if end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            # Optional exponent: 1e6, 6.1e-05, 2E+3.
+            if end < length and text[end] in "eE":
+                exponent = end + 1
+                if exponent < length and text[exponent] in "+-":
+                    exponent += 1
+                if exponent < length and text[exponent].isdigit():
+                    end = exponent
+                    while end < length and text[end].isdigit():
+                        end += 1
+            number = text[index:end]
+            yield Token(TokenKind.NUMBER, number, start_line, start_column)
+            advance(end - index)
+            continue
+        if char in "'\"":
+            quote = char
+            end = index + 1
+            while end < length and text[end] != quote:
+                if text[end] == "\n":
+                    raise ParseError("unterminated string literal",
+                                     line=start_line, column=start_column)
+                end += 1
+            if end >= length:
+                raise ParseError("unterminated string literal",
+                                 line=start_line, column=start_column)
+            value = text[index + 1:end]
+            yield Token(TokenKind.STRING, value, start_line, start_column)
+            advance(end - index + 1)
+            continue
+        matched_operator = next(
+            (op for op in _OPERATORS if text.startswith(op, index)), None)
+        if matched_operator is not None:
+            yield Token(TokenKind.OPERATOR, matched_operator, start_line,
+                        start_column)
+            advance(len(matched_operator))
+            continue
+        if char in _PUNCTUATION:
+            yield Token(TokenKind.PUNCTUATION, char, start_line, start_column)
+            advance(1)
+            continue
+        raise ParseError(f"unexpected character {char!r}",
+                         line=start_line, column=start_column)
+    yield Token(TokenKind.END, "", line, column)

@@ -1,0 +1,215 @@
+"""AVL tree: the balanced binary search tree of Algorithm 2 (SRFAE).
+
+Algorithm 2 inserts every (request, device) pair "as a node in a
+balanced binary search tree T, the key of the node is the weight of
+this request-device pair", then repeatedly extracts the minimum, deletes
+nodes and updates keys. This AVL implementation provides exactly those
+operations with O(log n) rebalancing.
+
+Keys must be unique and totally ordered; callers append a serial number
+to float weights, e.g. ``(cost, serial)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+
+
+class _Node:
+    __slots__ = ("key", "value", "left", "right", "height")
+
+    def __init__(self, key: Any, value: Any) -> None:
+        self.key = key
+        self.value = value
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.height = 1
+
+
+def _height(node: Optional[_Node]) -> int:
+    return node.height if node is not None else 0
+
+
+def _update(node: _Node) -> None:
+    node.height = 1 + max(_height(node.left), _height(node.right))
+
+
+def _balance_factor(node: _Node) -> int:
+    return _height(node.left) - _height(node.right)
+
+
+def _rotate_right(y: _Node) -> _Node:
+    x = y.left
+    assert x is not None
+    y.left = x.right
+    x.right = y
+    _update(y)
+    _update(x)
+    return x
+
+
+def _rotate_left(x: _Node) -> _Node:
+    y = x.right
+    assert y is not None
+    x.right = y.left
+    y.left = x
+    _update(x)
+    _update(y)
+    return y
+
+
+def _rebalance(node: _Node) -> _Node:
+    _update(node)
+    balance = _balance_factor(node)
+    if balance > 1:
+        assert node.left is not None
+        if _balance_factor(node.left) < 0:
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if balance < -1:
+        assert node.right is not None
+        if _balance_factor(node.right) > 0:
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class AVLTree:
+    """A self-balancing BST with insert, remove-by-key and pop-min."""
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert a node; duplicate keys are rejected."""
+        self._root = self._insert(self._root, key, value)
+        self._size += 1
+
+    def _insert(self, node: Optional[_Node], key: Any, value: Any) -> _Node:
+        if node is None:
+            return _Node(key, value)
+        if key < node.key:
+            node.left = self._insert(node.left, key, value)
+        elif key > node.key:
+            node.right = self._insert(node.right, key, value)
+        else:
+            raise SchedulingError(f"duplicate AVL key {key!r}")
+        return _rebalance(node)
+
+    def remove(self, key: Any) -> Any:
+        """Remove the node with ``key``, returning its value."""
+        removed: List[Any] = []
+        self._root = self._remove(self._root, key, removed)
+        if not removed:
+            raise SchedulingError(f"AVL key {key!r} not found")
+        self._size -= 1
+        return removed[0]
+
+    def _remove(self, node: Optional[_Node], key: Any,
+                removed: List[Any]) -> Optional[_Node]:
+        if node is None:
+            return None
+        if key < node.key:
+            node.left = self._remove(node.left, key, removed)
+        elif key > node.key:
+            node.right = self._remove(node.right, key, removed)
+        else:
+            removed.append(node.value)
+            if node.left is None:
+                return node.right
+            if node.right is None:
+                return node.left
+            # Replace with in-order successor, then delete it below.
+            successor = node.right
+            while successor.left is not None:
+                successor = successor.left
+            node.key, node.value = successor.key, successor.value
+            node.right = self._remove(node.right, successor.key, [])
+        return _rebalance(node)
+
+    def pop_min(self) -> Tuple[Any, Any]:
+        """Extract the node with the least key: ``(key, value)``."""
+        if self._root is None:
+            raise SchedulingError("pop_min from an empty AVL tree")
+        node = self._root
+        while node.left is not None:
+            node = node.left
+        key, value = node.key, node.value
+        self.remove(key)
+        return key, value
+
+    def update_key(self, old_key: Any, new_key: Any) -> None:
+        """Re-key one node (Algorithm 2's key-update step)."""
+        if old_key == new_key:
+            return
+        value = self.remove(old_key)
+        self.insert(new_key, value)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def min_key(self) -> Any:
+        """The least key without removing it."""
+        if self._root is None:
+            raise SchedulingError("min of an empty AVL tree")
+        node = self._root
+        while node.left is not None:
+            node = node.left
+        return node.key
+
+    def __contains__(self, key: Any) -> bool:
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif key > node.key:
+                node = node.right
+            else:
+                return True
+        return False
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """In-order (sorted by key) traversal."""
+        yield from self._items(self._root)
+
+    def _items(self, node: Optional[_Node]) -> Iterator[Tuple[Any, Any]]:
+        if node is None:
+            return
+        yield from self._items(node.left)
+        yield (node.key, node.value)
+        yield from self._items(node.right)
+
+    # ------------------------------------------------------------------
+    # Invariant checks (for tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert BST ordering, height bookkeeping and AVL balance."""
+        keys = [key for key, _ in self.items()]
+        if keys != sorted(keys):
+            raise SchedulingError("AVL in-order traversal is not sorted")
+        if len(keys) != self._size:
+            raise SchedulingError("AVL size bookkeeping is wrong")
+        self._check_node(self._root)
+
+    def _check_node(self, node: Optional[_Node]) -> int:
+        if node is None:
+            return 0
+        left = self._check_node(node.left)
+        right = self._check_node(node.right)
+        if node.height != 1 + max(left, right):
+            raise SchedulingError("AVL height bookkeeping is wrong")
+        if abs(left - right) > 1:
+            raise SchedulingError("AVL balance violated")
+        return node.height

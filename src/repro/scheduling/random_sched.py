@@ -1,0 +1,28 @@
+"""RANDOM: the baseline that assigns requests to candidates at random.
+
+"The RANDOM algorithm was included as the baseline for comparison. It
+randomly assigns action requests to available devices for execution."
+(Section 6.3) Requests queue FIFO on their randomly chosen device.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.scheduling.base import CATEGORY_CAP, Scheduler
+from repro.scheduling.problem import Problem
+
+
+class RandomScheduler(Scheduler):
+    """Uniform-random candidate choice, FIFO execution."""
+
+    name = "RANDOM"
+    category = CATEGORY_CAP
+
+    def _solve(self, problem: Problem) -> Dict[str, List[str]]:
+        assignments: Dict[str, List[str]] = {
+            device_id: [] for device_id in problem.device_ids}
+        for request in problem.requests:
+            device_id = self.rng.choice(request.candidates)
+            assignments[device_id].append(request.request_id)
+        return assignments

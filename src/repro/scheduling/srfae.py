@@ -1,0 +1,130 @@
+"""Algorithm 2: SRFAE (CAP, proposed by the paper).
+
+Shortest Request First Assignment and Execution (Figure 3, Algorithm 2):
+every (request, device) pair goes into a balanced BST keyed by its
+weight; the algorithm repeatedly extracts the least node, assigns and
+services that request on that device, then re-keys the device's
+remaining pairs to "the estimated cost for servicing r_l on d_j after
+servicing r_i" **plus** the extracted key ``w`` — so keys always equal
+projected completion times on that device, honouring both the workload
+increase and the physical-status change.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Tuple
+
+from repro.errors import SchedulingError
+from repro.scheduling.avl import AVLTree
+from repro.scheduling.base import CATEGORY_CAP, Scheduler
+from repro.scheduling.problem import Problem
+
+
+class _LinearScanTree:
+    """Drop-in AVL replacement with O(n) extract-min, for the ablation."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[float, int], Tuple[str, str]] = {}
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def insert(self, key: Tuple[float, int], value: Tuple[str, str]) -> None:
+        if key in self._entries:
+            raise SchedulingError(f"duplicate key {key!r}")
+        self._entries[key] = value
+
+    def remove(self, key: Tuple[float, int]) -> Tuple[str, str]:
+        try:
+            return self._entries.pop(key)
+        except KeyError:
+            raise SchedulingError(f"key {key!r} not found") from None
+
+    def pop_min(self) -> Tuple[Tuple[float, int], Tuple[str, str]]:
+        if not self._entries:
+            raise SchedulingError("pop_min from an empty structure")
+        key = min(self._entries)  # the O(n) scan the AVL avoids
+        return key, self._entries.pop(key)
+
+    def update_key(self, old_key: Tuple[float, int],
+                   new_key: Tuple[float, int]) -> None:
+        if old_key == new_key:
+            return
+        self.insert(new_key, self.remove(old_key))
+
+
+class SrfaeScheduler(Scheduler):
+    """The paper's Algorithm 2, built on an AVL tree.
+
+    ``use_avl=False`` replaces the balanced BST with a naive
+    linear-scan-for-minimum structure — same schedules, asymptotically
+    worse scheduling time (the DESIGN.md data-structure ablation).
+    """
+
+    name = "SRFAE"
+    category = CATEGORY_CAP
+
+    def __init__(self, seed: int = 0, *, use_avl: bool = True) -> None:
+        super().__init__(seed)
+        self.use_avl = use_avl
+
+    def _solve(self, problem: Problem) -> Dict[str, List[str]]:
+        serial = itertools.count()
+        tree = AVLTree() if self.use_avl else _LinearScanTree()
+        #: (request_id, device_id) -> current tree key.
+        keys: Dict[Tuple[str, str], Tuple[float, int]] = {}
+        statuses = problem.initial_statuses()
+        workloads = {device_id: 0.0 for device_id in problem.device_ids}
+        assignments: Dict[str, List[str]] = {
+            device_id: [] for device_id in problem.device_ids}
+        unserviced = {r.request_id for r in problem.requests}
+        requests_by_id = {r.request_id: r for r in problem.requests}
+
+        # Lines 1-3: insert every eligible pair keyed by its weight.
+        for request in problem.requests:
+            for device_id in request.candidates:
+                cost, _ = problem.cost_model.estimate(
+                    request, device_id, statuses[device_id])
+                key = (cost, next(serial))
+                tree.insert(key, (request.request_id, device_id))
+                keys[(request.request_id, device_id)] = key
+
+        # Lines 7-20: repeatedly extract the least pair.
+        while tree:
+            key, (request_id, device_id) = tree.pop_min()
+            del keys[(request_id, device_id)]
+            request = requests_by_id[request_id]
+            assignments[device_id].append(request_id)
+            completion = key[0]  # w: projected completion on this device
+
+            # Line 15: mark serviced — drop the request's other pairs.
+            unserviced.discard(request_id)
+            for other_device in request.candidates:
+                stale = keys.pop((request_id, other_device), None)
+                if stale is not None:
+                    tree.remove(stale)
+
+            # The device's physical status advances past this request.
+            _, post_status = problem.cost_model.estimate(
+                request, device_id, statuses[device_id])
+            statuses[device_id] = post_status
+            workloads[device_id] = completion
+
+            # Lines 16-20: re-key the device's remaining eligible pairs
+            # from the *new* status, plus the accumulated workload w.
+            for other_id in unserviced:
+                pair = (other_id, device_id)
+                if pair not in keys:
+                    continue
+                cost, _ = problem.cost_model.estimate(
+                    requests_by_id[other_id], device_id,
+                    statuses[device_id])
+                new_key = (cost + completion, next(serial))
+                tree.update_key(keys[pair], new_key)
+                keys[pair] = new_key
+
+        return assignments

@@ -1,0 +1,198 @@
+"""Synthetic action workloads for the scheduling study (Section 6.3).
+
+The paper drove its scheduling experiments through the calibrated
+camera simulator: requests are ``photo()`` executions whose cost is the
+camera's fixed photo time plus the head movement from the camera's
+current pose — "randomly selected from the interval [0.36, 5.36], which
+is the range of the execution time (in seconds) of a photo() action on
+an AXIS 2130 camera".
+
+Two workload families:
+
+* **uniform** — every request may run on every camera (Figure 4);
+* **skewed** — half of the requests run anywhere, the other half only
+  on a random subset of size ``skewness * m`` (Figure 6): "We define
+  skewness to be the size of the subset divided by the total number of
+  cameras."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.devices.camera import CameraCalibration, HeadPosition
+from repro.scheduling.problem import (
+    Problem,
+    SchedRequest,
+    SchedulingCostModel,
+    StaticCostModel,
+)
+
+
+class CameraStatusCostModel(SchedulingCostModel):
+    """Sequence-dependent photo costs on a fleet of simulated cameras.
+
+    Status is a :class:`HeadPosition`; a request's payload is the target
+    head position. Cost = fixed photo time + slowest-axis movement time;
+    post-status = the target pose (servicing a photo leaves the head
+    aimed at its target — the paper's status-change effect).
+    """
+
+    def __init__(
+        self,
+        initial_heads: Mapping[str, HeadPosition],
+        calibration: Optional[CameraCalibration] = None,
+        *,
+        estimate_noise: float = 0.0,
+        noise_seed: int = 0,
+    ) -> None:
+        self._initial_heads = dict(initial_heads)
+        self.calibration = calibration or CameraCalibration()
+        if estimate_noise < 0:
+            raise SchedulingError("estimate_noise must be non-negative")
+        #: Relative noise applied to *estimates* only; actual costs stay
+        #: exact. Used by the cost-model-accuracy ablation.
+        self.estimate_noise = estimate_noise
+        self._noise_rng = random.Random(noise_seed)
+
+    def initial_status(self, device_id: str) -> HeadPosition:
+        try:
+            return self._initial_heads[device_id]
+        except KeyError:
+            raise SchedulingError(
+                f"no initial head pose for device {device_id!r}"
+            ) from None
+
+    def _true_cost(
+        self, request: SchedRequest, status: HeadPosition
+    ) -> Tuple[float, HeadPosition]:
+        target: HeadPosition = request.payload
+        movement = status.movement_seconds(target, self.calibration)
+        return self.calibration.fixed_photo_seconds() + movement, target
+
+    def estimate(
+        self, request: SchedRequest, device_id: str, status: HeadPosition
+    ) -> Tuple[float, HeadPosition]:
+        seconds, post = self._true_cost(request, status)
+        if self.estimate_noise:
+            seconds *= 1.0 + self._noise_rng.uniform(
+                -self.estimate_noise, self.estimate_noise)
+        return seconds, post
+
+    def actual(
+        self, request: SchedRequest, device_id: str, status: HeadPosition
+    ) -> Tuple[float, HeadPosition]:
+        return self._true_cost(request, status)
+
+
+def _random_head(rng: random.Random,
+                 calibration: CameraCalibration) -> HeadPosition:
+    return HeadPosition(
+        pan=rng.uniform(calibration.pan_min, calibration.pan_max),
+        tilt=rng.uniform(calibration.tilt_min, calibration.tilt_max),
+        zoom=rng.uniform(calibration.zoom_min, calibration.zoom_max),
+    )
+
+
+def _camera_ids(n_devices: int) -> Tuple[str, ...]:
+    return tuple(f"cam{i + 1}" for i in range(n_devices))
+
+
+def uniform_camera_workload(
+    n_requests: int,
+    n_devices: int,
+    seed: int = 0,
+    *,
+    calibration: Optional[CameraCalibration] = None,
+    estimate_noise: float = 0.0,
+) -> Problem:
+    """A Figure-4-style uniform workload: all cameras candidates."""
+    if n_requests < 1 or n_devices < 1:
+        raise SchedulingError("need at least one request and one device")
+    calibration = calibration or CameraCalibration()
+    rng = random.Random(seed)
+    device_ids = _camera_ids(n_devices)
+    initial_heads = {device_id: _random_head(rng, calibration)
+                     for device_id in device_ids}
+    requests = tuple(
+        SchedRequest(
+            request_id=f"req{i + 1}",
+            candidates=device_ids,
+            payload=_random_head(rng, calibration),
+        )
+        for i in range(n_requests)
+    )
+    return Problem(
+        requests=requests,
+        device_ids=device_ids,
+        cost_model=CameraStatusCostModel(
+            initial_heads, calibration,
+            estimate_noise=estimate_noise, noise_seed=seed),
+        label=f"uniform n={n_requests} m={n_devices} seed={seed}",
+    )
+
+
+def skewed_camera_workload(
+    n_requests: int,
+    n_devices: int,
+    skewness: float,
+    seed: int = 0,
+    *,
+    calibration: Optional[CameraCalibration] = None,
+) -> Problem:
+    """A Figure-6-style skewed workload.
+
+    Half of the requests keep all devices as candidates; each request of
+    the other half is restricted to a random subset of size
+    ``round(skewness * n_devices)`` (at least 1).
+    """
+    if not 0 < skewness <= 1:
+        raise SchedulingError(f"skewness must be in (0, 1], got {skewness}")
+    calibration = calibration or CameraCalibration()
+    rng = random.Random(seed)
+    device_ids = _camera_ids(n_devices)
+    initial_heads = {device_id: _random_head(rng, calibration)
+                     for device_id in device_ids}
+    subset_size = max(1, round(skewness * n_devices))
+    requests = []
+    for i in range(n_requests):
+        if i < n_requests // 2:
+            candidates = device_ids
+        else:
+            candidates = tuple(rng.sample(device_ids, subset_size))
+        requests.append(SchedRequest(
+            request_id=f"req{i + 1}",
+            candidates=candidates,
+            payload=_random_head(rng, calibration),
+        ))
+    return Problem(
+        requests=tuple(requests),
+        device_ids=device_ids,
+        cost_model=CameraStatusCostModel(initial_heads, calibration),
+        label=(f"skewed n={n_requests} m={n_devices} "
+               f"skew={skewness} seed={seed}"),
+    )
+
+
+def matrix_workload(
+    costs: Mapping[Tuple[str, str], float],
+    candidates: Mapping[str, Tuple[str, ...]],
+    device_ids: Tuple[str, ...],
+    label: str = "matrix",
+) -> Problem:
+    """A sequence-independent instance from an explicit cost matrix.
+
+    For unit tests and textbook scheduling-theory comparisons.
+    """
+    requests = tuple(
+        SchedRequest(request_id=request_id, candidates=request_candidates)
+        for request_id, request_candidates in candidates.items()
+    )
+    return Problem(
+        requests=requests,
+        device_ids=device_ids,
+        cost_model=StaticCostModel(costs),
+        label=label,
+    )

@@ -1,0 +1,36 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free kernel in the style of SimPy: generator-based
+processes scheduled on a virtual clock. Aorta's simulated devices and
+networks run on this kernel so that experiments measuring seconds of
+device time execute in milliseconds of wall time.
+
+Public surface::
+
+    env = Environment()
+    def proc(env):
+        yield env.timeout(1.5)
+    env.process(proc(env))
+    env.run()
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import Event, EventQueue, ScheduledItem, Timeout
+from repro.sim.kernel import Environment
+from repro.sim.process import Interrupt, Process
+from repro.sim.resources import FifoResource, SimLock
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "Environment",
+    "Event",
+    "EventQueue",
+    "FifoResource",
+    "Interrupt",
+    "Process",
+    "RandomStreams",
+    "ScheduledItem",
+    "SimLock",
+    "Timeout",
+    "VirtualClock",
+]

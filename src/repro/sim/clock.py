@@ -1,0 +1,36 @@
+"""Virtual clock for the discrete-event kernel."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class VirtualClock:
+    """Monotonically non-decreasing virtual time.
+
+    The clock only moves when the kernel advances it to the timestamp of
+    the next scheduled event; simulated work therefore takes zero wall
+    time. Time is a float in *seconds* to match the paper's cost metric.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp``.
+
+        Raises :class:`SimulationError` on an attempt to move backwards,
+        which would indicate a corrupted event queue.
+        """
+        if timestamp < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards from {self._now} to {timestamp}"
+            )
+        self._now = timestamp

@@ -1,0 +1,115 @@
+"""Generator-based simulation processes."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.errors import SimulationError
+from repro.sim.events import PRIORITY_URGENT, Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Environment
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    Aorta uses interrupts to model a camera head being redirected while a
+    previous ``photo()`` action is still moving it (the unsynchronized
+    failure mode of Section 6.2).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """Wraps a generator so it can run as a concurrent simulation process.
+
+    The process itself is an :class:`Event` that triggers when the
+    generator finishes — so processes can wait on each other by yielding
+    another process.
+    """
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                "Process requires a generator; did you call the function?"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        # Kick off the process at the current time, ahead of normal events.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap._ok = True
+        bootstrap._value = None
+        env.schedule(bootstrap, priority=PRIORITY_URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not yet finished."""
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._waiting_on is not None:
+            # Detach from the event we were waiting for; it may still
+            # trigger later but must no longer resume us.
+            try:
+                self._waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        wakeup = Event(self.env)
+        wakeup.callbacks.append(self._resume)
+        wakeup._ok = False
+        wakeup._value = Interrupt(cause)
+        wakeup._defused = True  # failure is delivered, not raised by kernel
+        self.env.schedule(wakeup, priority=PRIORITY_URGENT)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # The process chose not to handle the interrupt: treat the
+            # process as failed with that interrupt.
+            self.fail(Interrupt("unhandled interrupt"))
+            return
+        except Exception as exc:
+            # The process body raised: fail the process event so waiters
+            # see the exception; with no waiter the kernel re-raises it.
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {target!r}; processes must yield Event objects"
+            )
+        if target._processed:
+            # Already done: schedule an immediate resume preserving order.
+            immediate = Event(self.env)
+            immediate.callbacks.append(self._resume)
+            immediate._ok = target._ok
+            immediate._value = target._value
+            if not target._ok:
+                target._defused = True
+                immediate._defused = True
+            self.env.schedule(immediate, priority=PRIORITY_URGENT)
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+            # Waiting on an event defuses its failure for the kernel; the
+            # exception will be re-raised inside this process instead.
+            target._defused = True  # type: ignore[attr-defined]

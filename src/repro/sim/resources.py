@@ -1,0 +1,130 @@
+"""Synchronization primitives for simulation processes.
+
+These are *simulated-time* primitives: acquiring a contended lock costs
+virtual time, not wall time. The Aorta device lock manager
+(:mod:`repro.sync.locks`) builds on :class:`SimLock`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Environment
+
+
+class SimLock:
+    """A FIFO mutual-exclusion lock for simulation processes.
+
+    ``acquire()`` returns an event that triggers when the caller holds
+    the lock; ``release()`` hands the lock to the next waiter in FIFO
+    order. Ownership is tracked by an opaque token so misuse (releasing
+    a lock you do not hold) is detected.
+    """
+
+    def __init__(self, env: "Environment", name: str = "lock") -> None:
+        self.env = env
+        self.name = name
+        self._holder: Optional[object] = None
+        self._waiters: Deque[tuple[Event, object]] = deque()
+
+    @property
+    def locked(self) -> bool:
+        """Whether some process currently holds the lock."""
+        return self._holder is not None
+
+    @property
+    def queue_length(self) -> int:
+        """Number of processes waiting to acquire."""
+        return len(self._waiters)
+
+    def acquire(self, token: object) -> Event:
+        """Request the lock on behalf of ``token``.
+
+        The returned event succeeds (with the token as value) once the
+        lock is held. Re-entrant acquisition is rejected: a device must
+        never run two actions at once (Section 4 of the paper).
+        """
+        if token is None:
+            raise SimulationError("lock token must not be None")
+        if self._holder is token:
+            raise SimulationError(f"{self.name}: re-entrant acquire by {token!r}")
+        grant = Event(self.env)
+        if self._holder is None and not self._waiters:
+            self._holder = token
+            grant.succeed(token)
+        else:
+            self._waiters.append((grant, token))
+        return grant
+
+    def release(self, token: object) -> None:
+        """Release the lock and wake the next FIFO waiter, if any."""
+        if self._holder is not token:
+            raise SimulationError(
+                f"{self.name}: release by {token!r} which is not the holder"
+            )
+        self._holder = None
+        while self._waiters:
+            grant, next_token = self._waiters.popleft()
+            self._holder = next_token
+            grant.succeed(next_token)
+            return
+
+    def cancel(self, token: object) -> bool:
+        """Withdraw a queued acquire for ``token``. Returns True if found."""
+        for i, (grant, waiting_token) in enumerate(self._waiters):
+            if waiting_token is token:
+                del self._waiters[i]
+                return True
+        return False
+
+
+class FifoResource:
+    """A counted resource with FIFO admission (capacity >= 1).
+
+    Generalizes :class:`SimLock` to capacities above one; used for
+    modelling bounded device request queues and radio channels.
+    """
+
+    def __init__(self, env: "Environment", capacity: int, name: str = "resource") -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        """Number of free slots."""
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of waiting acquirers."""
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Request one slot; the event succeeds once the slot is granted."""
+        grant = Event(self.env)
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            grant.succeed()
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Return one slot and admit the next FIFO waiter, if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"{self.name}: release with no slot in use")
+        if self._waiters:
+            grant = self._waiters.popleft()
+            grant.succeed()
+        else:
+            self._in_use -= 1

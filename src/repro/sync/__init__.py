@@ -1,0 +1,11 @@
+"""Device synchronization (paper Section 4).
+
+Two mechanisms protect action atomicity on unreliable physical devices:
+the **locking** mechanism (one action at a time per device, implemented
+here) and the **probing** mechanism (availability checks, implemented in
+:mod:`repro.comm.probe` since a probe is a communication exchange).
+"""
+
+from repro.sync.locks import DeviceLockManager, LockToken
+
+__all__ = ["DeviceLockManager", "LockToken"]

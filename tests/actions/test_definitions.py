@@ -1,0 +1,161 @@
+"""Unit tests for action definitions, binding and the registries."""
+
+import pytest
+
+from repro.errors import BindingError, QueryError, RegistrationError
+from repro.geometry import Point
+from repro.actions import (
+    ActionDefinition,
+    ActionLibrary,
+    ActionParameter,
+    ActionRegistry,
+)
+from repro.actions.builtins import builtin_definitions, photo_profile, photo_resolver
+from repro.profiles.action_profile import ActionProfile, OperationRef, seq
+
+
+def noop_impl(device, args):
+    return None
+    yield  # pragma: no cover
+
+
+def make_definition(name="photo", device_type="camera", **kwargs):
+    profile = kwargs.pop("profile", None) or ActionProfile(
+        name, device_type, seq(OperationRef("connect")))
+    return ActionDefinition(
+        name=name,
+        device_type=device_type,
+        parameters=kwargs.pop("parameters", ()),
+        implementation=noop_impl,
+        profile=profile,
+        resolver=lambda device, status, args: ({}, dict(status)),
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Parameters and binding
+# ----------------------------------------------------------------------
+
+def test_parameter_type_validation():
+    with pytest.raises(RegistrationError, match="unknown type"):
+        ActionParameter("x", "Decimal")
+
+
+def test_parameter_accepts():
+    assert ActionParameter("n", "String").accepts("hello")
+    assert not ActionParameter("n", "String").accepts(5)
+    assert ActionParameter("n", "Int").accepts(5)
+    assert not ActionParameter("n", "Int").accepts(True)
+    assert ActionParameter("n", "Float").accepts(2.5)
+    assert ActionParameter("n", "Float").accepts(2)
+    assert ActionParameter("n", "Bool").accepts(False)
+    assert ActionParameter("n", "Location").accepts(Point(1, 2))
+    assert not ActionParameter("n", "Location").accepts("somewhere")
+
+
+def test_bind_validates_arguments():
+    definition = make_definition(parameters=(
+        ActionParameter("phone_no", "String"),
+        ActionParameter("photo_pathname", "String"),
+    ))
+    bound = definition.bind({"phone_no": "+852", "photo_pathname": "x.jpg"})
+    assert bound == {"phone_no": "+852", "photo_pathname": "x.jpg"}
+
+
+def test_bind_missing_argument():
+    definition = make_definition(parameters=(
+        ActionParameter("phone_no", "String"),))
+    with pytest.raises(QueryError, match="missing arguments"):
+        definition.bind({})
+
+
+def test_bind_unknown_argument():
+    definition = make_definition(parameters=())
+    with pytest.raises(QueryError, match="unknown arguments"):
+        definition.bind({"surprise": 1})
+
+
+def test_bind_type_mismatch():
+    definition = make_definition(parameters=(
+        ActionParameter("count", "Int"),))
+    with pytest.raises(QueryError, match="expects Int"):
+        definition.bind({"count": "three"})
+
+
+def test_duplicate_parameter_names_rejected():
+    with pytest.raises(RegistrationError, match="duplicate parameter"):
+        make_definition(parameters=(
+            ActionParameter("x", "Int"), ActionParameter("x", "Int")))
+
+
+def test_profile_name_mismatch_rejected():
+    profile = ActionProfile("other", "camera", seq(OperationRef("connect")))
+    with pytest.raises(RegistrationError, match="profile for"):
+        make_definition(name="photo", profile=profile)
+
+
+def test_profile_device_type_mismatch_rejected():
+    profile = ActionProfile("photo", "phone", seq(OperationRef("connect")))
+    with pytest.raises(RegistrationError, match="targets"):
+        make_definition(name="photo", device_type="camera", profile=profile)
+
+
+# ----------------------------------------------------------------------
+# Registries
+# ----------------------------------------------------------------------
+
+def test_registry_register_and_get():
+    registry = ActionRegistry()
+    definition = make_definition()
+    registry.register(definition)
+    assert registry.get("photo") is definition
+    assert "photo" in registry
+    assert len(registry) == 1
+
+
+def test_registry_duplicate_rejected():
+    registry = ActionRegistry()
+    registry.register(make_definition())
+    with pytest.raises(RegistrationError, match="already registered"):
+        registry.register(make_definition())
+
+
+def test_registry_unknown_action():
+    with pytest.raises(BindingError, match="unknown action"):
+        ActionRegistry().get("nothing")
+
+
+def test_library_install_and_resolve():
+    library = ActionLibrary()
+    library.install("lib/users/sendphoto.dll", noop_impl)
+    assert "lib/users/sendphoto.dll" in library
+    assert library.resolve("lib/users/sendphoto.dll") is noop_impl
+
+
+def test_library_missing_path():
+    with pytest.raises(BindingError, match="no implementation"):
+        ActionLibrary().resolve("lib/ghost.dll")
+
+
+def test_library_duplicate_path_rejected():
+    library = ActionLibrary()
+    library.install("lib/x.dll", noop_impl)
+    with pytest.raises(RegistrationError, match="already has"):
+        library.install("lib/x.dll", noop_impl)
+
+
+def test_builtin_definitions_cover_paper_examples():
+    names = {d.name for d in builtin_definitions()}
+    assert names == {"photo", "beep", "blink"}
+    for definition in builtin_definitions():
+        assert definition.builtin
+
+
+def test_sendphoto_is_the_reference_user_defined_action():
+    from repro.actions.builtins import sendphoto_definition
+    definition = sendphoto_definition()
+    assert not definition.builtin
+    assert definition.library_path == "lib/users/sendphoto.dll"
+    assert definition.profile_path == "profiles/users/sendphoto.xml"
+    assert definition.device_parameters[0].device_attribute == "number"

@@ -1,0 +1,56 @@
+"""Unit tests for the probing mechanism (paper Section 4)."""
+
+import pytest
+
+from tests.comm.conftest import run
+
+
+def test_probe_online_camera_succeeds(env, layer, lab):
+    result = run(env, layer.probe(lab["cam1"]))
+    assert result.available
+    assert set(result.status) == {"pan", "tilt", "zoom"}
+    assert result.round_trip_seconds > 0
+
+
+def test_probe_offline_device_unavailable_after_timeout(env, layer, lab):
+    lab["cam1"].go_offline()
+    result = run(env, layer.probe(lab["cam1"]))
+    assert not result.available
+    assert "timed out" in result.error
+    # The probe burned exactly the camera TIMEOUT (1.0 s by default).
+    assert env.now == pytest.approx(1.0)
+
+
+def test_probe_uses_per_type_timeouts(env, layer, lab):
+    lab["phone1"].go_offline()
+    result = run(env, layer.probe(lab["phone1"]))
+    assert not result.available
+    assert env.now == pytest.approx(2.0)  # phone TIMEOUT
+
+
+def test_probe_all_runs_in_parallel(env, layer, lab):
+    lab["cam1"].go_offline()
+    lab["cam2"].go_offline()
+    results = run(env, layer.prober.probe_all([lab["cam1"], lab["cam2"]]))
+    assert [r.available for r in results] == [False, False]
+    # Parallel probing: both timeouts overlap, total is one TIMEOUT.
+    assert env.now == pytest.approx(1.0)
+
+
+def test_available_devices_excludes_malfunctioning(env, layer, lab):
+    lab["cam2"].crash()
+    available = run(env, layer.probe_candidates([lab["cam1"], lab["cam2"]]))
+    assert [device.device_id for device, _ in available] == ["cam1"]
+
+
+def test_probe_counters(env, layer, lab):
+    lab["cam2"].go_offline()
+    run(env, layer.prober.probe_all([lab["cam1"], lab["cam2"]]))
+    assert layer.prober.probes_sent == 2
+    assert layer.prober.probes_failed == 1
+
+
+def test_probe_returns_status_for_cost_model(env, layer, lab):
+    result = run(env, layer.probe(lab["mote2"]))
+    assert result.available
+    assert result.status["hop_depth"] == 2.0

@@ -1,0 +1,85 @@
+"""Unit tests for scan operators over virtual device tables."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.devices import SensorStimulus
+from tests.comm.conftest import run
+
+
+def test_scan_sensor_table_produces_all_rows(env, layer, lab):
+    operator = layer.scan_operator("sensor")
+    rows = run(env, operator.scan())
+    assert [row.device_id for row in rows] == ["mote1", "mote2", "mote3"]
+    for row in rows:
+        row.validate(layer.catalog("sensor"))
+
+
+def test_scan_reads_live_sensory_values(env, layer, lab):
+    lab["mote1"].inject(SensorStimulus("accel_x", start=0.0, duration=100.0,
+                                       magnitude=800.0))
+    operator = layer.scan_operator("sensor")
+    rows = run(env, operator.scan())
+    by_id = {row.device_id: row for row in rows}
+    assert by_id["mote1"]["accel_x"] == pytest.approx(800.0)
+    assert by_id["mote2"]["accel_x"] == pytest.approx(0.0)
+
+
+def test_scan_includes_static_attributes(env, layer, lab):
+    operator = layer.scan_operator("camera")
+    rows = run(env, operator.scan())
+    by_id = {row.device_id: row for row in rows}
+    assert by_id["cam1"]["loc_x"] == 0.0
+    assert by_id["cam2"]["loc_x"] == 20.0
+    assert by_id["cam1"]["ip"]
+
+
+def test_scan_skips_offline_devices(env, layer, lab):
+    lab["mote2"].go_offline()
+    operator = layer.scan_operator("sensor")
+    rows = run(env, operator.scan())
+    assert [row.device_id for row in rows] == ["mote1", "mote3"]
+
+
+def test_scan_skips_dead_battery_device_with_reason(env, layer, lab):
+    lab["mote3"].battery_volts = 1.5
+    operator = layer.scan_operator("sensor")
+    rows = run(env, operator.scan())
+    assert [row.device_id for row in rows] == ["mote1", "mote2"]
+    assert operator.skipped and operator.skipped[0][0] == "mote3"
+    assert "battery dead" in operator.skipped[0][1]
+
+
+def test_scan_acquires_rows_in_parallel(env, layer, lab):
+    operator = layer.scan_operator("sensor")
+    run(env, operator.scan())
+    # 5 sensory attributes + connect = 6 round trips of 0.04 s each; a
+    # sequential scan over three motes would take 3x as long.
+    assert env.now < 0.3
+
+
+def test_scan_device_returns_single_row(env, layer, lab):
+    operator = layer.scan_operator("camera")
+    row = run(env, operator.scan_device("cam2"))
+    assert row.device_id == "cam2"
+    assert row["pan"] == pytest.approx(0.0)
+
+
+def test_scan_device_offline_returns_none(env, layer, lab):
+    lab["cam2"].go_offline()
+    operator = layer.scan_operator("camera")
+    assert run(env, operator.scan_device("cam2")) is None
+
+
+def test_tuple_unknown_attribute_raises(env, layer, lab):
+    operator = layer.scan_operator("camera")
+    rows = run(env, operator.scan())
+    with pytest.raises(QueryError, match="no attribute"):
+        rows[0]["altitude"]
+
+
+def test_tuples_produced_counter(env, layer, lab):
+    operator = layer.scan_operator("phone")
+    run(env, operator.scan())
+    run(env, operator.scan())
+    assert operator.tuples_produced == 2

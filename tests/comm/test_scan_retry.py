@@ -1,0 +1,52 @@
+"""Scan retry behaviour: one transient failure does not drop a row."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.geometry import Point
+from repro.devices import SensorMote
+from tests.comm.conftest import run
+
+
+class FlakyMote(SensorMote):
+    """Fails its first N sensory reads, then behaves."""
+
+    def __init__(self, *args, failures=1, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._failures_left = failures
+
+    def read_sensory(self, name):
+        if self._failures_left > 0:
+            self._failures_left -= 1
+            raise DeviceError(f"{self.device_id}: transient glitch")
+        return super().read_sensory(name)
+
+
+def test_single_transient_failure_retried(env, layer):
+    layer.add_device(FlakyMote(env, "flaky", Point(0, 0),
+                               noise_amplitude=0.0, failures=1))
+    operator = layer.scan_operator("sensor")
+    rows = run(env, operator.scan())
+    assert [row.device_id for row in rows] == ["flaky"]
+    assert operator.skipped == []
+
+
+def test_persistent_failure_skips_with_reason(env, layer):
+    layer.add_device(FlakyMote(env, "broken", Point(0, 0),
+                               noise_amplitude=0.0, failures=100))
+    operator = layer.scan_operator("sensor")
+    rows = run(env, operator.scan())
+    assert rows == []
+    assert operator.skipped[0][0] == "broken"
+    assert "glitch" in operator.skipped[0][1]
+
+
+def test_retry_does_not_duplicate_rows(env, layer, lab):
+    """Healthy devices appear exactly once even when another retries."""
+    layer.add_device(FlakyMote(env, "flaky", Point(1, 1),
+                               noise_amplitude=0.0, failures=1))
+    operator = layer.scan_operator("sensor")
+    rows = run(env, operator.scan())
+    ids = [row.device_id for row in rows]
+    assert sorted(ids) == ["flaky", "mote1", "mote2", "mote3"]
+    assert len(ids) == len(set(ids))

@@ -1,0 +1,77 @@
+"""Unit tests for device tuples and schema validation."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.comm.tuples import DeviceTuple
+from repro.profiles import AttributeSpec, DeviceCatalog
+
+
+def make_catalog():
+    return DeviceCatalog(
+        device_type="sensor",
+        attributes=[
+            AttributeSpec("id", "str", sensory=False),
+            AttributeSpec("accel_x", "float", sensory=True,
+                          acquisition_method="read"),
+            AttributeSpec("count", "int", sensory=False),
+            AttributeSpec("armed", "bool", sensory=False),
+        ],
+    )
+
+
+def good_tuple():
+    return DeviceTuple("sensor", "m1", {
+        "id": "m1", "accel_x": 1.5, "count": 3, "armed": True})
+
+
+def test_valid_tuple_passes():
+    good_tuple().validate(make_catalog())
+
+
+def test_int_accepted_where_float_declared():
+    row = good_tuple()
+    row.values["accel_x"] = 2  # int into float column: SQL coercion
+    row.validate(make_catalog())
+
+
+def test_bool_not_accepted_as_int():
+    row = good_tuple()
+    row.values["count"] = True
+    with pytest.raises(ProfileError, match="expected int"):
+        row.validate(make_catalog())
+
+
+def test_int_not_accepted_as_bool():
+    row = good_tuple()
+    row.values["armed"] = 1
+    with pytest.raises(ProfileError, match="expected bool"):
+        row.validate(make_catalog())
+
+
+def test_missing_attribute_rejected():
+    row = good_tuple()
+    del row.values["count"]
+    with pytest.raises(ProfileError, match="missing attribute"):
+        row.validate(make_catalog())
+
+
+def test_wrong_device_type_rejected():
+    row = DeviceTuple("camera", "c1", {})
+    with pytest.raises(ProfileError, match="validated against"):
+        row.validate(make_catalog())
+
+
+def test_wrong_string_type_rejected():
+    row = good_tuple()
+    row.values["id"] = 42
+    with pytest.raises(ProfileError, match="expected str"):
+        row.validate(make_catalog())
+
+
+def test_get_and_contains():
+    row = good_tuple()
+    assert "id" in row
+    assert "ghost" not in row
+    assert row.get("ghost", "fallback") == "fallback"
+    assert row.get("id") == "m1"

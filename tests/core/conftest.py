@@ -1,0 +1,50 @@
+"""Fixtures: a pervasive-lab engine like the paper's testbed."""
+
+import pytest
+
+from repro import (
+    AortaEngine,
+    EngineConfig,
+    Environment,
+    MobilePhone,
+    PanTiltZoomCamera,
+    Point,
+    SensorMote,
+)
+from repro.network import LinkModel
+
+#: Lossless links for deterministic integration tests.
+LOSSLESS = {
+    "camera": LinkModel(latency_seconds=0.005),
+    "sensor": LinkModel(latency_seconds=0.02),
+    "phone": LinkModel(latency_seconds=0.3),
+}
+
+FIGURE_1 = '''CREATE AQ snapshot AS
+SELECT photo(c.ip, s.loc, "photos/admin")
+FROM sensor s, camera c
+WHERE s.accel_x > 500 AND coverage(c.id, s.loc)'''
+
+
+def build_lab(config=None, n_motes=3, links=None):
+    """Two ceiling cameras plus motes at places of interest."""
+    env = Environment()
+    engine = AortaEngine(env, config=config,
+                         links=dict(links or LOSSLESS))
+    engine.add_device(PanTiltZoomCamera(env, "cam1", Point(0, 0),
+                                        ip_address="10.0.0.1"))
+    engine.add_device(PanTiltZoomCamera(env, "cam2", Point(20, 0),
+                                        facing=180.0,
+                                        ip_address="10.0.0.2"))
+    for i in range(n_motes):
+        engine.add_device(SensorMote(
+            env, f"mote{i + 1}", Point(4.0 * (i + 1), 3.0),
+            noise_amplitude=0.0))
+    engine.add_device(MobilePhone(env, "phone1", Point(0, 0),
+                                  number="+85290000000"))
+    return engine
+
+
+@pytest.fixture
+def engine():
+    return build_lab()

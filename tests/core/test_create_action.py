@@ -1,0 +1,124 @@
+"""The full CREATE ACTION flow: install code + profile, register, use."""
+
+import pytest
+
+from repro.errors import AortaError, BindingError
+from repro import SensorStimulus
+from repro.actions.builtins import (
+    sendphoto_profile,
+    sendphoto_resolver,
+)
+from tests.core.conftest import build_lab
+
+CREATE_SENDPHOTO = '''CREATE ACTION sendphoto(String phone_no,
+                                              String photo_pathname)
+AS "lib/users/sendphoto.dll"
+PROFILE "profiles/users/sendphoto.xml"'''
+
+
+def sendphoto_impl(device, args):
+    yield from device.execute("connect")
+    outcome = yield from device.execute(
+        "receive_mms", sender="aorta", body="photo",
+        attachment=args["photo_pathname"], size_kb=100.0)
+    return outcome.detail
+
+
+def install_assets(engine, select_all=False):
+    engine.install_action_code("lib/users/sendphoto.dll", sendphoto_impl)
+    engine.install_action_profile(
+        "profiles/users/sendphoto.xml",
+        sendphoto_profile(), sendphoto_resolver,
+        device_parameters={"phone_no": "number"},
+        select_all=select_all)
+
+
+def test_create_action_registers_definition(engine):
+    install_assets(engine)
+    definition = engine.execute(CREATE_SENDPHOTO)
+    assert definition.name == "sendphoto"
+    assert definition.device_type == "phone"
+    assert definition.library_path == "lib/users/sendphoto.dll"
+    assert not definition.builtin
+    assert engine.actions.get("sendphoto") is definition
+    # Cost estimation works immediately after registration.
+    phone = engine.comm.registry.get("phone1")
+    estimate = engine.cost_model.estimate(
+        "sendphoto", phone,
+        {"phone_no": "+852", "photo_pathname": "x.jpg"})
+    assert estimate.seconds > 0
+
+
+def test_create_action_without_code_rejected(engine):
+    engine.install_action_profile(
+        "profiles/users/sendphoto.xml",
+        sendphoto_profile(), sendphoto_resolver)
+    with pytest.raises(BindingError, match="no implementation"):
+        engine.execute(CREATE_SENDPHOTO)
+
+
+def test_create_action_without_profile_rejected(engine):
+    engine.install_action_code("lib/users/sendphoto.dll", sendphoto_impl)
+    with pytest.raises(BindingError, match="no profile installed"):
+        engine.execute(CREATE_SENDPHOTO)
+
+
+def test_profile_name_mismatch_rejected(engine):
+    engine.install_action_code("lib/users/sendphoto.dll", sendphoto_impl)
+    engine.install_action_profile(
+        "profiles/users/sendphoto.xml",
+        sendphoto_profile(), sendphoto_resolver)
+    with pytest.raises(BindingError, match="is for action"):
+        engine.execute('''CREATE ACTION forward(String phone_no,
+                                                String photo_pathname)
+            AS "lib/users/sendphoto.dll"
+            PROFILE "profiles/users/sendphoto.xml"''')
+
+
+def test_duplicate_profile_path_rejected(engine):
+    install_assets(engine)
+    with pytest.raises(AortaError, match="already installed"):
+        engine.install_action_profile(
+            "profiles/users/sendphoto.xml",
+            sendphoto_profile(), sendphoto_resolver)
+
+
+def test_user_defined_action_in_aq(engine):
+    """A UDA embedded in an AQ executes end to end: a sensor event
+    delivers an MMS to the manager's phone."""
+    install_assets(engine)
+    engine.execute(CREATE_SENDPHOTO)
+    engine.execute('''CREATE AQ forward AS
+        SELECT sendphoto(p.number, "photos/event.jpg")
+        FROM sensor s, phone p
+        WHERE s.accel_x > 500''')
+    mote = engine.comm.registry.get("mote1")
+    mote.inject(SensorStimulus("accel_x", start=2.0, duration=2.0,
+                               magnitude=900.0))
+    engine.start()
+    engine.run(until=30.0)
+    phone = engine.comm.registry.get("phone1")
+    assert len(phone.inbox) == 1
+    assert phone.inbox[0].attachment == "photos/event.jpg"
+
+
+def test_select_all_action_fans_out():
+    engine = build_lab()
+    install_assets(engine, select_all=True)
+    engine.execute(CREATE_SENDPHOTO)
+    # Add a second phone: select_all must hit both.
+    from repro import MobilePhone, Point
+    engine.add_device(MobilePhone(engine.env, "phone2", Point(5, 0),
+                                  number="+85291111111"))
+    engine.execute('''CREATE AQ broadcast AS
+        SELECT sendphoto(p.number, "photos/alert.jpg")
+        FROM sensor s, phone p
+        WHERE s.accel_x > 500''')
+    mote = engine.comm.registry.get("mote1")
+    mote.inject(SensorStimulus("accel_x", start=2.0, duration=2.0,
+                               magnitude=900.0))
+    engine.start()
+    engine.run(until=30.0)
+    assert len(engine.comm.registry.get("phone1").inbox) == 1
+    assert len(engine.comm.registry.get("phone2").inbox) == 1
+    assert len(engine.completed_requests) == 2

@@ -1,0 +1,57 @@
+"""Mixed-action integration: independent shared operators, one batch each."""
+
+import pytest
+
+from repro import SensorStimulus
+from repro.actions.request import RequestState
+from tests.core.conftest import FIGURE_1
+
+
+def test_photo_and_blink_dispatch_independently(engine):
+    engine.execute(FIGURE_1)
+    engine.execute('''CREATE AQ halo AS
+        SELECT blink(t.id)
+        FROM sensor s, sensor t
+        WHERE s.accel_x > 500 AND distance(t.loc, s.loc) < 5
+          AND distance(t.loc, s.loc) > 0''')
+    mote = engine.comm.registry.get("mote2")  # mote1/mote3 are 4 m away
+    mote.inject(SensorStimulus("accel_x", start=2.0, duration=2.5,
+                               magnitude=900.0))
+    engine.start()
+    engine.run(until=40.0)
+
+    by_action = {}
+    for request in engine.completed_requests:
+        by_action.setdefault(request.action_name, []).append(request)
+    assert set(by_action) == {"photo", "blink"}
+    assert all(r.state is RequestState.SERVICED
+               for requests in by_action.values() for r in requests)
+    # One dispatch report per action: separate shared operators.
+    assert sorted(r.action_name for r in engine.dispatcher.reports) == [
+        "blink", "photo"]
+    # blink landed on a sensor, photo on a camera.
+    blink_device = engine.comm.registry.get(
+        by_action["blink"][0].assigned_device)
+    photo_device = engine.comm.registry.get(
+        by_action["photo"][0].assigned_device)
+    assert blink_device.device_type == "sensor"
+    assert photo_device.device_type == "camera"
+
+
+def test_same_event_feeds_both_operators_same_poll(engine):
+    engine.execute(FIGURE_1)
+    engine.execute('''CREATE AQ halo AS
+        SELECT blink(t.id)
+        FROM sensor s, sensor t
+        WHERE s.accel_x > 500 AND distance(t.loc, s.loc) < 5
+          AND distance(t.loc, s.loc) > 0''')
+    mote = engine.comm.registry.get("mote2")
+    mote.inject(SensorStimulus("accel_x", start=2.0, duration=2.5,
+                               magnitude=900.0))
+    engine.start()
+    engine.run(until=40.0)
+    emitted = engine.tracer.of_kind("request_emitted")
+    assert {record["action"] for record in emitted} == {"photo", "blink"}
+    # Both requests stem from the same scan pass (same virtual instant).
+    times = {record.at for record in emitted}
+    assert len(times) == 1

@@ -1,0 +1,65 @@
+"""Integration: phone reachability through the full engine stack."""
+
+import pytest
+
+from repro import SensorStimulus
+from repro.actions.builtins import sendphoto_profile, sendphoto_resolver
+from repro.actions.request import RequestState
+from repro.devices.failures import FailureInjector
+
+
+def install_sendphoto(engine):
+    def impl(device, args):
+        yield from device.execute("connect")
+        outcome = yield from device.execute(
+            "receive_mms", sender="aorta", body="photo",
+            attachment=args["photo_pathname"], size_kb=50.0)
+        return outcome.detail
+
+    engine.install_action_code("lib/users/sendphoto.dll", impl)
+    engine.install_action_profile(
+        "profiles/users/sendphoto.xml", sendphoto_profile(),
+        sendphoto_resolver, device_parameters={"phone_no": "number"})
+    engine.execute('''CREATE ACTION sendphoto(String phone_no,
+                                              String photo_pathname)
+        AS "lib/users/sendphoto.dll"
+        PROFILE "profiles/users/sendphoto.xml"''')
+    engine.execute('''CREATE AQ notify AS
+        SELECT sendphoto(p.number, "photos/alert.jpg")
+        FROM sensor s, phone p
+        WHERE s.accel_x > 500''')
+
+
+def trigger(engine, at=2.0):
+    mote = engine.comm.registry.get("mote1")
+    mote.inject(SensorStimulus("accel_x", start=at, duration=2.0,
+                               magnitude=900.0))
+
+
+def test_out_of_coverage_phone_excluded_by_probe(engine):
+    """A phone out of carrier coverage never answers the probe, so the
+    optimizer excludes it — the paper's Section 4 example verbatim."""
+    install_sendphoto(engine)
+    engine.comm.registry.get("phone1").leave_coverage()
+    trigger(engine)
+    engine.start()
+    engine.run(until=30.0)
+    request = engine.completed_requests[0]
+    assert request.state is RequestState.FAILED
+    assert "no available candidate" in request.failure_reason
+    assert engine.tracer.of_kind("probe_failed")[0]["device"] == "phone1"
+
+
+def test_dropout_window_misses_then_recovers(engine):
+    install_sendphoto(engine)
+    injector = FailureInjector(engine.env)
+    injector.schedule_coverage_dropout(
+        engine.comm.registry.get("phone1"), start=0.0, duration=20.0)
+    trigger(engine, at=2.0)    # during the dropout: fails
+    trigger(engine, at=40.0)   # after recovery: delivered
+    engine.start()
+    engine.run(until=70.0)
+    states = [r.state for r in sorted(engine.completed_requests,
+                                      key=lambda r: r.created_at)]
+    assert states == [RequestState.FAILED, RequestState.SERVICED]
+    assert len(engine.comm.registry.get("phone1").inbox) == 1

@@ -1,0 +1,52 @@
+"""Snapshot SELECT coverage: arithmetic, literals, empty results."""
+
+import pytest
+
+from repro import SensorStimulus
+
+
+def test_arithmetic_in_projection(engine):
+    rows = engine.run_select(
+        'SELECT s.id, s.loc_x * 2 + 1 FROM sensor s WHERE s.id = "mote1"')
+    assert rows == [("mote1", 4.0 * 2 + 1)]
+
+
+def test_arithmetic_in_where(engine):
+    rows = engine.run_select(
+        "SELECT s.id FROM sensor s WHERE s.loc_x * s.loc_x > 50")
+    # Motes at x = 4, 8, 12: squares 16, 64, 144.
+    assert sorted(rows) == [("mote2",), ("mote3",)]
+
+
+def test_literal_projection(engine):
+    rows = engine.run_select('SELECT "lab", 42 FROM phone p')
+    assert rows == [("lab", 42)]
+
+
+def test_empty_result_set(engine):
+    rows = engine.run_select(
+        "SELECT s.id FROM sensor s WHERE s.accel_x > 99999")
+    assert rows == []
+
+
+def test_where_combining_sensory_and_static(engine):
+    mote = engine.comm.registry.get("mote2")
+    mote.inject(SensorStimulus("accel_x", start=0.0, duration=1e6,
+                               magnitude=700.0))
+    rows = engine.run_select(
+        "SELECT s.id FROM sensor s "
+        "WHERE s.accel_x > 500 AND s.loc_x < 10")
+    assert rows == [("mote2",)]
+
+
+def test_three_way_join(engine):
+    rows = engine.run_select(
+        "SELECT s.id, c.id, p.number FROM sensor s, camera c, phone p "
+        'WHERE s.id = "mote1" AND c.id = "cam1"')
+    assert rows == [("mote1", "cam1", "+85290000000")]
+
+
+def test_boolean_column_in_where(engine):
+    rows = engine.run_select(
+        "SELECT p.number FROM phone p WHERE p.mms_support")
+    assert rows == [("+85290000000",)]

@@ -1,0 +1,85 @@
+"""Photo-size variants and remaining camera behaviours."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.geometry import Point
+from repro.devices import CameraCalibration, PanTiltZoomCamera
+from repro.sim import Environment
+
+
+def take(env, camera, size):
+    photos = []
+
+    def proc(env):
+        photos.append((yield from camera.take_photo(Point(10, 0),
+                                                    "photos", size)))
+
+    env.process(proc(env))
+    env.run()
+    return photos[0]
+
+
+def test_size_affects_exposure_time():
+    cal = CameraCalibration()
+    durations = {}
+    for size in ("small", "medium", "large"):
+        env = Environment()
+        camera = PanTiltZoomCamera(env, "cam1", Point(0, 0))
+        start = env.now
+        take(env, camera, size)
+        durations[size] = env.now - start
+    assert durations["small"] < durations["medium"] < durations["large"]
+    assert durations["large"] - durations["small"] == pytest.approx(
+        cal.capture_seconds["large"] - cal.capture_seconds["small"])
+
+
+def test_photo_records_its_size():
+    env = Environment()
+    camera = PanTiltZoomCamera(env, "cam1", Point(0, 0))
+    assert take(env, camera, "small").size == "small"
+
+
+def test_unknown_size_rejected():
+    env = Environment()
+    camera = PanTiltZoomCamera(env, "cam1", Point(0, 0))
+
+    def proc(env):
+        yield from camera.take_photo(Point(10, 0), "photos", "gigantic")
+
+    env.process(proc(env))
+    with pytest.raises(DeviceError, match="unknown photo size"):
+        env.run()
+
+
+def test_read_sensory_moving_flag():
+    env = Environment()
+    camera = PanTiltZoomCamera(env, "cam1", Point(0, 0))
+    assert camera.read_sensory("moving") is False
+
+    def mover(env):
+        from repro.devices.camera import HeadPosition
+        yield from camera.op_move_head(HeadPosition(pan=68))
+
+    def observer(env):
+        yield env.timeout(0.5)
+        assert camera.read_sensory("moving") is True
+
+    env.process(mover(env))
+    env.process(observer(env))
+    env.run()
+
+
+def test_photo_log_grows_in_order():
+    env = Environment()
+    camera = PanTiltZoomCamera(env, "cam1", Point(0, 0))
+
+    def proc(env):
+        for _ in range(3):
+            yield from camera.take_photo(Point(10, 0), "photos")
+
+    env.process(proc(env))
+    env.run()
+    stamps = [p.taken_at for p in camera.photo_log]
+    assert len(stamps) == 3
+    assert stamps == sorted(stamps)

@@ -1,0 +1,85 @@
+"""Unit tests for failure injection."""
+
+import random
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.geometry import Point
+from repro.devices import PanTiltZoomCamera, SensorMote
+from repro.devices.failures import FailureInjector, OutageSpec
+from repro.sim import Environment
+
+
+def test_offline_outage_and_recovery():
+    env = Environment()
+    camera = PanTiltZoomCamera(env, "cam1", Point(0, 0))
+    injector = FailureInjector(env)
+    injector.schedule_outage(camera, OutageSpec(
+        device_id="cam1", start=5.0, duration=3.0, kind="offline"))
+    observations = []
+
+    def observer(env):
+        yield env.timeout(4.0)
+        observations.append(("before", camera.online))
+        yield env.timeout(2.0)
+        observations.append(("during", camera.online))
+        yield env.timeout(3.0)
+        observations.append(("after", camera.online))
+
+    env.process(observer(env))
+    env.run()
+    assert observations == [("before", True), ("during", False), ("after", True)]
+
+
+def test_crash_outage_and_repair():
+    env = Environment()
+    mote = SensorMote(env, "m1", Point(0, 0))
+    injector = FailureInjector(env)
+    injector.schedule_outage(mote, OutageSpec(
+        device_id="m1", start=1.0, duration=2.0, kind="crash"))
+
+    def observer(env):
+        yield env.timeout(2.0)
+        assert mote.state.value == "crashed"
+
+    env.process(observer(env))
+    env.run()
+    assert mote.online
+
+
+def test_outage_spec_validation():
+    with pytest.raises(DeviceError, match="duration"):
+        OutageSpec(device_id="x", start=0, duration=0)
+    with pytest.raises(DeviceError, match="kind"):
+        OutageSpec(device_id="x", start=0, duration=1, kind="meltdown")
+
+
+def test_mismatched_device_id_rejected():
+    env = Environment()
+    camera = PanTiltZoomCamera(env, "cam1", Point(0, 0))
+    injector = FailureInjector(env)
+    with pytest.raises(DeviceError, match="scheduled on device"):
+        injector.schedule_outage(camera, OutageSpec(
+            device_id="other", start=0, duration=1))
+
+
+def test_random_outages_deterministic_and_bounded():
+    env = Environment()
+    devices = [SensorMote(env, f"m{i}", Point(i, 0)) for i in range(5)]
+    injector = FailureInjector(env)
+    count = injector.random_outages(
+        devices, horizon=100.0, outage_rate_per_device=0.02,
+        mean_duration=5.0, rng=random.Random(3))
+    assert count == len(injector.scheduled)
+    assert count >= 1
+    env.run()
+    assert all(d.online for d in devices)
+
+
+def test_random_outages_bad_horizon():
+    env = Environment()
+    injector = FailureInjector(env)
+    with pytest.raises(DeviceError, match="horizon"):
+        injector.random_outages([], horizon=0, outage_rate_per_device=0.1,
+                                mean_duration=1.0)

@@ -1,0 +1,76 @@
+"""Tests for relational plan operators over live virtual tables."""
+
+import pytest
+
+from repro import AortaEngine, Environment, Point, PanTiltZoomCamera, SensorMote
+from repro.devices import SensorStimulus
+from tests.core.conftest import LOSSLESS
+
+
+@pytest.fixture
+def engine():
+    env = Environment()
+    engine = AortaEngine(env, links=dict(LOSSLESS))
+    engine.add_device(PanTiltZoomCamera(env, "cam1", Point(0, 0),
+                                        ip_address="10.0.0.1"))
+    engine.add_device(PanTiltZoomCamera(env, "cam2", Point(30, 0),
+                                        ip_address="10.0.0.2",
+                                        view_range=10.0))
+    for i, x in enumerate((2.0, 8.0, 40.0)):
+        engine.add_device(SensorMote(env, f"mote{i + 1}", Point(x, 0),
+                                     noise_amplitude=0.0))
+    return engine
+
+
+def test_select_star_single_table(engine):
+    rows = engine.run_select("SELECT * FROM camera c")
+    assert len(rows) == 2
+
+
+def test_select_columns(engine):
+    rows = engine.run_select("SELECT c.id, c.ip FROM camera c")
+    assert sorted(rows) == [("cam1", "10.0.0.1"), ("cam2", "10.0.0.2")]
+
+
+def test_select_with_filter(engine):
+    rows = engine.run_select(
+        "SELECT s.id FROM sensor s WHERE s.loc_x < 10")
+    assert sorted(rows) == [("mote1",), ("mote2",)]
+
+
+def test_select_sensory_attribute_live(engine):
+    mote = engine.comm.registry.get("mote1")
+    mote.inject(SensorStimulus("accel_x", start=0.0, duration=1e6,
+                               magnitude=900.0))
+    rows = engine.run_select(
+        "SELECT s.id FROM sensor s WHERE s.accel_x > 500")
+    assert rows == [("mote1",)]
+
+
+def test_join_with_function_predicate(engine):
+    """Which (sensor, camera) pairs are in coverage?"""
+    rows = engine.run_select(
+        "SELECT s.id, c.id FROM sensor s, camera c "
+        "WHERE coverage(c.id, s.loc)")
+    pairs = set(rows)
+    # cam1 (range 50) covers motes at x=2, 8, 40; cam2 (range 10,
+    # at x=30) covers the mote at x=40 (distance 10) and none closer.
+    assert ("mote1", "cam1") in pairs
+    assert ("mote2", "cam1") in pairs
+    assert ("mote3", "cam1") in pairs
+    assert ("mote1", "cam2") not in pairs
+
+
+def test_join_offline_device_excluded(engine):
+    engine.comm.registry.get("cam2").go_offline()
+    rows = engine.run_select("SELECT c.id FROM camera c")
+    assert rows == [("cam1",)]
+
+
+def test_scalar_function_in_projection(engine):
+    rows = engine.run_select(
+        "SELECT s.id, distance(s.loc, c.loc) FROM sensor s, camera c "
+        "WHERE c.id = \"cam1\"")
+    by_id = dict(rows)
+    assert by_id["mote1"] == pytest.approx(2.0)
+    assert by_id["mote3"] == pytest.approx(40.0)

@@ -1,0 +1,112 @@
+"""Unit tests for the planner: continuous and snapshot plans."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro import AortaEngine, Environment
+from repro.query.ast import ColumnRef, Literal
+from repro.query.parser import parse
+
+FIGURE_1_SELECT = '''SELECT photo(c.ip, s.loc, "photos/admin")
+FROM sensor s, camera c
+WHERE s.accel_x > 500 AND coverage(c.id, s.loc)'''
+
+
+@pytest.fixture
+def engine():
+    return AortaEngine(Environment())
+
+
+def plan_aq(engine, sql, name="q"):
+    return engine.planner.plan_continuous(name, parse(sql))
+
+
+def test_figure_1_plan_structure(engine):
+    plan = plan_aq(engine, FIGURE_1_SELECT, name="snapshot")
+    assert plan.action.name == "photo"
+    assert plan.event_alias == "s" and plan.event_table == "sensor"
+    assert plan.device_alias == "c" and plan.device_table == "camera"
+    assert str(plan.event_predicate) == "(s.accel_x > 500)"
+    assert str(plan.candidate_predicate) == "coverage(c.id, s.loc)"
+    assert plan.argument_expressions == {
+        "target": ColumnRef("s", "loc"),
+        "directory": Literal("photos/admin"),
+    }
+
+
+def test_plan_describe_mentions_all_stages(engine):
+    text = plan_aq(engine, FIGURE_1_SELECT).describe()
+    for fragment in ("EventScan", "EventFilter", "CandidateScan",
+                     "CandidateFilter", "SharedAction(photo)"):
+        assert fragment in text
+
+
+def test_predicate_partitioning_multi_conjunct(engine):
+    plan = plan_aq(engine, '''SELECT photo(c.ip, s.loc, "p")
+        FROM sensor s, camera c
+        WHERE s.accel_x > 500 AND s.battery > 2.5
+          AND coverage(c.id, s.loc) AND c.ip <> "10.0.0.9"''')
+    assert "battery" in str(plan.event_predicate)
+    assert "accel_x" in str(plan.event_predicate)
+    assert "coverage" in str(plan.candidate_predicate)
+    assert "ip" in str(plan.candidate_predicate)
+
+
+def test_aq_without_where(engine):
+    plan = plan_aq(engine, 'SELECT photo(c.ip, s.loc, "p") '
+                           'FROM sensor s, camera c')
+    assert plan.event_predicate is None
+    assert plan.candidate_predicate is None
+
+
+def test_wrong_arity_rejected(engine):
+    with pytest.raises(PlanError, match="takes 3"):
+        plan_aq(engine, 'SELECT photo(c.ip, s.loc) FROM sensor s, camera c')
+
+
+def test_unqualified_device_argument_rejected(engine):
+    with pytest.raises(PlanError, match="qualified column"):
+        plan_aq(engine, 'SELECT photo("10.0.0.1", s.loc, "p") '
+                        'FROM sensor s, camera c')
+
+
+def test_device_argument_of_wrong_type_rejected(engine):
+    with pytest.raises(PlanError, match="operates 'camera'"):
+        plan_aq(engine, 'SELECT photo(s.id, s.loc, "p") '
+                        'FROM sensor s, camera c')
+
+
+def test_two_event_tables_rejected(engine):
+    with pytest.raises(PlanError, match="exactly one event table"):
+        plan_aq(engine, 'SELECT photo(c.ip, s.loc, "p") '
+                        'FROM sensor s, sensor s2, camera c')
+
+
+def test_action_argument_referencing_device_table_rejected(engine):
+    with pytest.raises(PlanError, match="non-event aliases"):
+        plan_aq(engine, 'SELECT photo(c.ip, c.loc, "p") '
+                        'FROM sensor s, camera c')
+
+
+def test_no_action_in_select_rejected(engine):
+    with pytest.raises(PlanError, match="exactly one embedded action"):
+        plan_aq(engine, 'SELECT s.accel_x FROM sensor s, camera c')
+
+
+def test_extra_select_items_rejected(engine):
+    with pytest.raises(PlanError, match="only the embedded action"):
+        plan_aq(engine, 'SELECT photo(c.ip, s.loc, "p"), s.accel_x '
+                        'FROM sensor s, camera c')
+
+
+def test_snapshot_plan_rejects_embedded_action(engine):
+    with pytest.raises(PlanError, match="CREATE AQ"):
+        engine.planner.plan_snapshot(parse(
+            'SELECT photo(c.ip, s.loc, "p") FROM sensor s, camera c'))
+
+
+def test_snapshot_plan_explain(engine):
+    plan = engine.planner.plan_snapshot(parse(
+        "SELECT s.id, s.accel_x FROM sensor s WHERE s.accel_x > 100"))
+    text = plan.describe()
+    assert "Project" in text and "Filter" in text and "Scan" in text

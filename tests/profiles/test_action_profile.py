@@ -1,0 +1,104 @@
+"""Unit tests for action profiles (composition trees and estimation)."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.profiles import (
+    ActionProfile,
+    AtomicOperationCost,
+    CostTable,
+    OperationRef,
+)
+from repro.profiles.action_profile import par, seq
+
+
+@pytest.fixture
+def camera_costs():
+    return CostTable.from_operations("camera", [
+        AtomicOperationCost("connect", fixed_seconds=0.1),
+        AtomicOperationCost("pan", fixed_seconds=0.0,
+                            per_unit_seconds=0.01, unit="degrees"),
+        AtomicOperationCost("tilt", fixed_seconds=0.0,
+                            per_unit_seconds=0.02, unit="degrees"),
+        AtomicOperationCost("capture_medium", fixed_seconds=0.2),
+    ])
+
+
+def photo_profile():
+    return ActionProfile(
+        action_name="photo",
+        device_type="camera",
+        composition=seq(
+            OperationRef("connect"),
+            par(OperationRef("pan", quantity="pan_degrees"),
+                OperationRef("tilt", quantity="tilt_degrees")),
+            OperationRef("capture_medium"),
+        ),
+        status_fields=["pan", "tilt"],
+    )
+
+
+def test_sequence_costs_add(camera_costs):
+    profile = ActionProfile(
+        "two_step", "camera",
+        seq(OperationRef("connect"), OperationRef("capture_medium")),
+    )
+    assert profile.estimate(camera_costs, {}) == pytest.approx(0.3)
+
+
+def test_parallel_cost_is_max(camera_costs):
+    profile = photo_profile()
+    # pan 100 deg = 1.0 s; tilt 10 deg = 0.2 s: parallel = 1.0 s
+    cost = profile.estimate(
+        camera_costs, {"pan_degrees": 100, "tilt_degrees": 10})
+    assert cost == pytest.approx(0.1 + 1.0 + 0.2)
+
+
+def test_parallel_other_branch_dominates(camera_costs):
+    profile = photo_profile()
+    # pan 10 deg = 0.1 s; tilt 50 deg = 1.0 s: parallel = 1.0 s
+    cost = profile.estimate(
+        camera_costs, {"pan_degrees": 10, "tilt_degrees": 50})
+    assert cost == pytest.approx(0.1 + 1.0 + 0.2)
+
+
+def test_missing_quantity_raises(camera_costs):
+    with pytest.raises(ProfileError, match="was not resolved"):
+        photo_profile().estimate(camera_costs, {"pan_degrees": 10})
+
+
+def test_required_quantities():
+    assert photo_profile().required_quantities() == {
+        "pan_degrees", "tilt_degrees"}
+
+
+def test_operation_names():
+    assert photo_profile().composition.operation_names() == {
+        "connect", "pan", "tilt", "capture_medium"}
+
+
+def test_validate_against_passes(camera_costs):
+    photo_profile().validate_against(camera_costs)
+
+
+def test_validate_detects_missing_operation(camera_costs):
+    profile = ActionProfile(
+        "bad", "camera", seq(OperationRef("connect"), OperationRef("warp")))
+    with pytest.raises(ProfileError, match="warp"):
+        profile.validate_against(camera_costs)
+
+
+def test_validate_detects_device_type_mismatch(camera_costs):
+    profile = ActionProfile("photo", "phone", OperationRef("connect"))
+    with pytest.raises(ProfileError, match="cost table is for"):
+        profile.validate_against(camera_costs)
+
+
+def test_empty_sequence_rejected():
+    with pytest.raises(ProfileError, match="at least one child"):
+        seq()
+
+
+def test_empty_parallel_rejected():
+    with pytest.raises(ProfileError, match="at least one child"):
+        par()

@@ -1,0 +1,96 @@
+"""Deeply nested action-composition trees estimate and serialize right."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.profiles import (
+    ActionProfile,
+    AtomicOperationCost,
+    CostTable,
+    OperationRef,
+    action_profile_from_xml,
+    action_profile_to_xml,
+)
+from repro.profiles.action_profile import par, seq
+
+
+@pytest.fixture
+def table():
+    return CostTable.from_operations("widget", [
+        AtomicOperationCost("a", fixed_seconds=1.0),
+        AtomicOperationCost("b", fixed_seconds=2.0),
+        AtomicOperationCost("c", fixed_seconds=0.0,
+                            per_unit_seconds=0.5, unit="steps"),
+    ])
+
+
+def test_nested_seq_of_par(table):
+    # seq(a, par(b, seq(a, a))): 1 + max(2, 1+1) = 3
+    tree = seq(OperationRef("a"),
+               par(OperationRef("b"),
+                   seq(OperationRef("a"), OperationRef("a"))))
+    assert tree.estimate(table, {}) == pytest.approx(3.0)
+
+
+def test_nested_par_of_seq(table):
+    # par(seq(a, b), seq(b, b)): max(3, 4) = 4
+    tree = par(seq(OperationRef("a"), OperationRef("b")),
+               seq(OperationRef("b"), OperationRef("b")))
+    assert tree.estimate(table, {}) == pytest.approx(4.0)
+
+
+def test_quantities_deep_in_tree(table):
+    tree = seq(par(OperationRef("c", quantity="q1"),
+                   OperationRef("c", quantity="q2")),
+               OperationRef("a"))
+    cost = tree.estimate(table, {"q1": 4, "q2": 10})
+    assert cost == pytest.approx(max(2.0, 5.0) + 1.0)
+    assert tree.quantity_names() == {"q1", "q2"}
+
+
+leaves = st.sampled_from(["a", "b"]).map(OperationRef)
+
+
+def composites(children):
+    return st.one_of(
+        st.lists(children, min_size=1, max_size=3).map(
+            lambda kids: seq(*kids)),
+        st.lists(children, min_size=1, max_size=3).map(
+            lambda kids: par(*kids)),
+    )
+
+
+trees = st.recursive(leaves, composites, max_leaves=16)
+
+
+@settings(max_examples=60, deadline=None)
+@given(trees)
+def test_random_trees_round_trip_through_xml(tree):
+    profile = ActionProfile("act", "widget", tree)
+    restored = action_profile_from_xml(action_profile_to_xml(profile))
+    assert restored == profile
+
+
+@settings(max_examples=60, deadline=None)
+@given(trees)
+def test_estimate_bounded_by_sequential_sum(tree):
+    """Any tree costs at most the all-sequential sum and at least the
+    single most expensive leaf."""
+    costs = CostTable.from_operations("widget", [
+        AtomicOperationCost("a", fixed_seconds=1.0),
+        AtomicOperationCost("b", fixed_seconds=2.0),
+    ])
+    leaf_costs = [costs.estimate(name)
+                  for name in _leaf_names(tree)]
+    estimate = tree.estimate(costs, {})
+    assert max(leaf_costs) - 1e-9 <= estimate <= sum(leaf_costs) + 1e-9
+
+
+def _leaf_names(tree):
+    if isinstance(tree, OperationRef):
+        return [tree.operation]
+    names = []
+    for child in tree.children:
+        names.extend(_leaf_names(child))
+    return names

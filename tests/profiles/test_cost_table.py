@@ -1,0 +1,58 @@
+"""Unit tests for atomic-operation cost tables."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.profiles import AtomicOperationCost, CostTable
+
+
+def test_fixed_cost_estimate():
+    op = AtomicOperationCost("capture_medium", fixed_seconds=0.2)
+    assert op.estimate() == pytest.approx(0.2)
+
+
+def test_per_unit_cost_estimate():
+    op = AtomicOperationCost("pan", fixed_seconds=0.1,
+                             per_unit_seconds=0.01, unit="degrees")
+    assert op.estimate(90) == pytest.approx(0.1 + 0.9)
+
+
+def test_negative_cost_rejected():
+    with pytest.raises(ProfileError, match="negative cost"):
+        AtomicOperationCost("bad", fixed_seconds=-1.0)
+
+
+def test_per_unit_without_unit_rejected():
+    with pytest.raises(ProfileError, match="no unit"):
+        AtomicOperationCost("bad", fixed_seconds=0.0, per_unit_seconds=0.5)
+
+
+def test_negative_quantity_rejected():
+    op = AtomicOperationCost("pan", fixed_seconds=0.1,
+                             per_unit_seconds=0.01, unit="degrees")
+    with pytest.raises(ProfileError, match="negative quantity"):
+        op.estimate(-1)
+
+
+def test_table_lookup_and_estimate():
+    table = CostTable.from_operations("camera", [
+        AtomicOperationCost("connect", fixed_seconds=0.05),
+        AtomicOperationCost("pan", fixed_seconds=0.0,
+                            per_unit_seconds=0.0147, unit="degrees"),
+    ])
+    assert "connect" in table
+    assert len(table) == 2
+    assert table.estimate("pan", 100) == pytest.approx(1.47)
+
+
+def test_table_duplicate_rejected():
+    table = CostTable("camera")
+    table.add(AtomicOperationCost("connect", fixed_seconds=0.05))
+    with pytest.raises(ProfileError, match="duplicate"):
+        table.add(AtomicOperationCost("connect", fixed_seconds=0.06))
+
+
+def test_table_unknown_operation_raises():
+    table = CostTable("camera")
+    with pytest.raises(ProfileError, match="no atomic operation"):
+        table.operation("teleport")

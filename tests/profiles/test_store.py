@@ -1,0 +1,73 @@
+"""Tests for the on-disk XML profile store."""
+
+import os
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.actions.builtins import photo_profile
+from repro.profiles.defaults import camera_catalog, camera_cost_table
+from repro.profiles.store import ProfileStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ProfileStore(str(tmp_path))
+
+
+def test_catalog_round_trip(store):
+    catalog = camera_catalog()
+    path = store.save_catalog(catalog)
+    assert path.endswith(os.path.join("catalogs", "camera.xml"))
+    assert store.load_catalog("camera") == catalog
+
+
+def test_cost_table_round_trip(store):
+    table = camera_cost_table()
+    store.save_cost_table(table)
+    assert store.load_cost_table("camera").operations == table.operations
+
+
+def test_action_profile_round_trip(store):
+    profile = photo_profile()
+    store.save_action_profile(profile)
+    assert store.load_action_profile("photo") == profile
+
+
+def test_missing_profile_raises(store):
+    with pytest.raises(ProfileError, match="no catalog profile"):
+        store.load_catalog("toaster")
+
+
+def test_unsafe_name_rejected(store):
+    with pytest.raises(ProfileError, match="unsafe"):
+        store.load_catalog("../../etc/passwd")
+
+
+def test_enumeration(store):
+    assert store.catalog_names() == []
+    store.save_catalog(camera_catalog())
+    store.save_cost_table(camera_cost_table())
+    store.save_action_profile(photo_profile())
+    assert store.catalog_names() == ["camera"]
+    assert store.cost_table_names() == ["camera"]
+    assert store.action_profile_names() == ["photo"]
+
+
+def test_save_builtin_profiles_writes_full_layout(store):
+    paths = store.save_builtin_profiles()
+    assert len(paths) == 3 + 3 + 4  # catalogs + costs + 4 action profiles
+    assert store.catalog_names() == ["camera", "phone", "sensor"]
+    assert store.action_profile_names() == ["beep", "blink", "photo",
+                                            "sendphoto"]
+    loaded = store.load_all_catalogs()
+    assert set(loaded) == {"camera", "phone", "sensor"}
+
+
+def test_files_are_valid_xml_on_disk(store, tmp_path):
+    store.save_builtin_profiles()
+    import xml.etree.ElementTree as ET
+    for sub in ("catalogs", "costs", "actions"):
+        directory = tmp_path / sub
+        for entry in directory.iterdir():
+            ET.parse(str(entry))  # raises on malformed XML

@@ -1,0 +1,114 @@
+"""Round-trip and error tests for profile XML serialization."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.profiles import (
+    ActionProfile,
+    AtomicOperationCost,
+    AttributeSpec,
+    CostTable,
+    DeviceCatalog,
+    OperationRef,
+    action_profile_from_xml,
+    action_profile_to_xml,
+    catalog_from_xml,
+    catalog_to_xml,
+    cost_table_from_xml,
+    cost_table_to_xml,
+)
+from repro.profiles.action_profile import par, seq
+
+
+def test_catalog_round_trip():
+    catalog = DeviceCatalog(
+        device_type="camera",
+        model="AXIS 2130",
+        description="PTZ network camera",
+        attributes=[
+            AttributeSpec("id", "int", sensory=False),
+            AttributeSpec("ip", "str", sensory=False,
+                          description="management address"),
+            AttributeSpec("zoom", "float", sensory=True, unit="x",
+                          acquisition_method="read_zoom"),
+        ],
+    )
+    assert catalog_from_xml(catalog_to_xml(catalog)) == catalog
+
+
+def test_cost_table_round_trip():
+    table = CostTable.from_operations("camera", [
+        AtomicOperationCost("connect", fixed_seconds=0.05,
+                            description="open control channel"),
+        AtomicOperationCost("pan", fixed_seconds=0.0,
+                            per_unit_seconds=0.0147, unit="degrees"),
+    ])
+    restored = cost_table_from_xml(cost_table_to_xml(table))
+    assert restored.device_type == "camera"
+    assert restored.operations == table.operations
+
+
+def test_action_profile_round_trip():
+    profile = ActionProfile(
+        action_name="photo",
+        device_type="camera",
+        composition=seq(
+            OperationRef("connect"),
+            par(OperationRef("pan", quantity="pan_degrees"),
+                OperationRef("tilt", quantity="tilt_degrees")),
+            OperationRef("capture_medium"),
+        ),
+        status_fields=["pan", "tilt"],
+        description="move head and take a medium photo",
+    )
+    restored = action_profile_from_xml(action_profile_to_xml(profile))
+    assert restored == profile
+
+
+def test_malformed_xml_raises():
+    with pytest.raises(ProfileError, match="malformed"):
+        catalog_from_xml("<device_catalog")
+
+
+def test_wrong_root_tag_raises():
+    with pytest.raises(ProfileError, match="expected <device_catalog>"):
+        catalog_from_xml("<not_a_catalog/>")
+
+
+def test_missing_required_attribute_raises():
+    with pytest.raises(ProfileError, match="missing required attribute"):
+        catalog_from_xml(
+            "<device_catalog device_type='x'><attribute name='a'/>"
+            "</device_catalog>")
+
+
+def test_non_numeric_cost_raises():
+    with pytest.raises(ProfileError, match="non-numeric"):
+        cost_table_from_xml(
+            "<atomic_operation_cost device_type='camera'>"
+            "<operation name='pan' fixed_seconds='fast'/>"
+            "</atomic_operation_cost>")
+
+
+def test_profile_without_composition_raises():
+    with pytest.raises(ProfileError, match="composition"):
+        action_profile_from_xml(
+            "<action_profile action='photo' device_type='camera'/>")
+
+
+def test_unknown_composition_tag_raises():
+    with pytest.raises(ProfileError, match="unknown composition element"):
+        action_profile_from_xml(
+            "<action_profile action='photo' device_type='camera'>"
+            "<composition><loop/></composition></action_profile>")
+
+
+def test_costs_survive_float_precision():
+    table = CostTable.from_operations("camera", [
+        AtomicOperationCost("pan", fixed_seconds=0.1234567890123,
+                            per_unit_seconds=1e-7, unit="degrees"),
+    ])
+    restored = cost_table_from_xml(cost_table_to_xml(table))
+    op = restored.operation("pan")
+    assert op.fixed_seconds == 0.1234567890123
+    assert op.per_unit_seconds == 1e-7

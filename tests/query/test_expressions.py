@@ -1,0 +1,139 @@
+"""Unit tests for expression evaluation over device tuples."""
+
+import pytest
+
+from repro.errors import BindingError, QueryError
+from repro.geometry import Point
+from repro.comm.tuples import DeviceTuple
+from repro.query import EvaluationContext, FunctionRegistry, evaluate, parse_expression
+from repro.query.functions import install_standard_functions
+
+
+def sensor_row(accel_x=0.0, loc=(5.0, 5.0)):
+    return DeviceTuple("sensor", "mote1", {
+        "id": "mote1", "loc_x": loc[0], "loc_y": loc[1],
+        "accel_x": accel_x, "temperature": 22.0})
+
+
+def camera_row():
+    return DeviceTuple("camera", "cam1", {
+        "id": "cam1", "ip": "10.0.0.1", "loc_x": 0.0, "loc_y": 0.0})
+
+
+@pytest.fixture
+def context():
+    functions = FunctionRegistry()
+    install_standard_functions(functions)
+    functions.register("coverage", lambda camera_id, loc: True, arity=2)
+    return EvaluationContext(
+        tuples={"s": sensor_row(accel_x=800.0), "c": camera_row()},
+        functions=functions,
+    )
+
+
+def ev(text, context):
+    return evaluate(parse_expression(text), context)
+
+
+def test_literal(context):
+    assert ev("500", context) == 500
+    assert ev("3.5", context) == 3.5
+    assert ev('"hello"', context) == "hello"
+    assert ev("TRUE", context) is True
+
+
+def test_qualified_column(context):
+    assert ev("s.accel_x", context) == 800.0
+    assert ev("c.ip", context) == "10.0.0.1"
+
+
+def test_unqualified_unique_column(context):
+    assert ev("temperature", context) == 22.0
+
+
+def test_unqualified_ambiguous_column(context):
+    with pytest.raises(BindingError, match="ambiguous"):
+        ev("id", context)
+
+
+def test_unknown_column(context):
+    with pytest.raises(BindingError, match="unknown column"):
+        ev("altitude", context)
+
+
+def test_unknown_alias(context):
+    with pytest.raises(BindingError, match="unknown table alias"):
+        ev("x.accel_x", context)
+
+
+def test_loc_pseudo_column(context):
+    loc = ev("s.loc", context)
+    assert isinstance(loc, Point)
+    assert (loc.x, loc.y) == (5.0, 5.0)
+
+
+def test_comparisons(context):
+    assert ev("s.accel_x > 500", context) is True
+    assert ev("s.accel_x < 500", context) is False
+    assert ev("s.accel_x >= 800", context) is True
+    assert ev("s.accel_x <= 799", context) is False
+    assert ev("s.accel_x = 800", context) is True
+    assert ev("s.accel_x <> 800", context) is False
+    assert ev('c.ip = "10.0.0.1"', context) is True
+
+
+def test_type_mismatch_comparison_raises(context):
+    with pytest.raises(QueryError, match="cannot compare"):
+        ev('s.accel_x > "high"', context)
+
+
+def test_boolean_logic(context):
+    assert ev("s.accel_x > 500 AND s.temperature > 20", context) is True
+    assert ev("s.accel_x > 900 OR s.temperature > 20", context) is True
+    assert ev("NOT s.accel_x > 900", context) is True
+    assert ev("s.accel_x > 900 AND s.temperature > 20", context) is False
+
+
+def test_and_short_circuits(context):
+    # The second operand would raise if evaluated.
+    assert ev("s.accel_x > 900 AND nosuch(1)", context) is False
+
+
+def test_non_boolean_condition_raises(context):
+    with pytest.raises(QueryError, match="expected a boolean"):
+        ev("s.accel_x AND TRUE", context)
+
+
+def test_function_call(context):
+    assert ev("coverage(c.id, s.loc)", context) is True
+    assert ev("distance(s.loc, c.loc)", context) == pytest.approx(
+        (50.0) ** 0.5)
+
+
+def test_function_arity_enforced(context):
+    with pytest.raises(QueryError, match="takes 2"):
+        ev("coverage(c.id)", context)
+
+
+def test_unknown_function(context):
+    with pytest.raises(BindingError, match="unknown function"):
+        ev("teleport(1)", context)
+
+
+def test_figure_1_predicate_end_to_end(context):
+    predicate = "s.accel_x > 500 AND coverage(c.id, s.loc)"
+    assert ev(predicate, context) is True
+    quiet = context.bind("s", sensor_row(accel_x=10.0))
+    assert ev(predicate, quiet) is False
+
+
+def test_context_bind_does_not_mutate(context):
+    updated = context.bind("s", sensor_row(accel_x=1.0))
+    assert ev("s.accel_x", context) == 800.0
+    assert ev("s.accel_x", updated) == 1.0
+
+
+def test_star_not_evaluable(context):
+    from repro.query.ast import Star
+    with pytest.raises(QueryError, match="SELECT item"):
+        evaluate(Star(), context)

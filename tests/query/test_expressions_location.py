@@ -1,0 +1,51 @@
+"""Location pseudo-column resolution details."""
+
+import pytest
+
+from repro.errors import BindingError
+from repro.geometry import Point
+from repro.comm.tuples import DeviceTuple
+from repro.query import EvaluationContext, evaluate, parse_expression
+
+
+def located_row(device_type, device_id, x, y):
+    return DeviceTuple(device_type, device_id,
+                       {"id": device_id, "loc_x": x, "loc_y": y})
+
+
+def test_unqualified_loc_with_single_table():
+    context = EvaluationContext(
+        tuples={"s": located_row("sensor", "m1", 3.0, 4.0)})
+    loc = evaluate(parse_expression("loc"), context)
+    assert (loc.x, loc.y) == (3.0, 4.0)
+
+
+def test_unqualified_loc_ambiguous_with_two_tables():
+    context = EvaluationContext(tuples={
+        "s": located_row("sensor", "m1", 1, 2),
+        "c": located_row("camera", "c1", 3, 4)})
+    with pytest.raises(BindingError, match="ambiguous"):
+        evaluate(parse_expression("loc"), context)
+
+
+def test_qualified_loc_disambiguates():
+    context = EvaluationContext(tuples={
+        "s": located_row("sensor", "m1", 1, 2),
+        "c": located_row("camera", "c1", 3, 4)})
+    loc = evaluate(parse_expression("c.loc"), context)
+    assert (loc.x, loc.y) == (3, 4)
+
+
+def test_explicit_loc_column_wins_over_pseudo():
+    """A real column named ``loc`` shadows the synthetic Point."""
+    row = DeviceTuple("sensor", "m1",
+                      {"loc": "room-7", "loc_x": 1.0, "loc_y": 2.0})
+    context = EvaluationContext(tuples={"s": row})
+    assert evaluate(parse_expression("s.loc"), context) == "room-7"
+
+
+def test_loc_requires_both_coordinates():
+    row = DeviceTuple("sensor", "m1", {"loc_x": 1.0})
+    context = EvaluationContext(tuples={"s": row})
+    with pytest.raises(Exception):
+        evaluate(parse_expression("s.loc"), context)

@@ -1,0 +1,129 @@
+"""Unit and property tests for the AVL tree backing SRFAE."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingError
+from repro.scheduling.avl import AVLTree
+
+
+def test_insert_and_pop_min_orders_keys():
+    tree = AVLTree()
+    for key in [5, 3, 8, 1, 9, 7]:
+        tree.insert(key, f"v{key}")
+    popped = []
+    while tree:
+        key, value = tree.pop_min()
+        popped.append(key)
+        assert value == f"v{key}"
+    assert popped == [1, 3, 5, 7, 8, 9]
+
+
+def test_duplicate_key_rejected():
+    tree = AVLTree()
+    tree.insert((1.0, 0), "a")
+    with pytest.raises(SchedulingError, match="duplicate"):
+        tree.insert((1.0, 0), "b")
+
+
+def test_remove_returns_value():
+    tree = AVLTree()
+    tree.insert(2, "two")
+    tree.insert(1, "one")
+    assert tree.remove(2) == "two"
+    assert len(tree) == 1
+    assert 2 not in tree
+
+
+def test_remove_missing_key_raises():
+    tree = AVLTree()
+    with pytest.raises(SchedulingError, match="not found"):
+        tree.remove(42)
+
+
+def test_pop_min_empty_raises():
+    with pytest.raises(SchedulingError, match="empty"):
+        AVLTree().pop_min()
+
+
+def test_min_key_without_removal():
+    tree = AVLTree()
+    tree.insert(3, "c")
+    tree.insert(1, "a")
+    assert tree.min_key() == 1
+    assert len(tree) == 2
+
+
+def test_update_key_moves_node():
+    tree = AVLTree()
+    tree.insert((5.0, 1), "x")
+    tree.insert((2.0, 2), "y")
+    tree.update_key((5.0, 1), (1.0, 1))
+    key, value = tree.pop_min()
+    assert value == "x"
+    assert key == (1.0, 1)
+
+
+def test_update_key_same_key_is_noop():
+    tree = AVLTree()
+    tree.insert(1, "a")
+    tree.update_key(1, 1)
+    assert tree.min_key() == 1
+
+
+def test_contains():
+    tree = AVLTree()
+    tree.insert(4, "d")
+    assert 4 in tree
+    assert 5 not in tree
+
+
+def test_items_in_order():
+    tree = AVLTree()
+    for key in [4, 2, 6, 1, 3]:
+        tree.insert(key, key)
+    assert [key for key, _ in tree.items()] == [1, 2, 3, 4, 5][:4] + [6]
+
+
+def test_invariants_hold_under_sequential_inserts():
+    tree = AVLTree()
+    for key in range(100):  # worst case for an unbalanced BST
+        tree.insert(key, key)
+        tree.check_invariants()
+    # AVL keeps the tree logarithmic; a plain BST would have height 100.
+    assert tree._root.height <= 9
+
+
+@given(st.lists(st.integers(), unique=True))
+def test_insert_all_then_drain_sorted(keys):
+    tree = AVLTree()
+    for key in keys:
+        tree.insert(key, key)
+    tree.check_invariants()
+    drained = []
+    while tree:
+        drained.append(tree.pop_min()[0])
+    assert drained == sorted(keys)
+
+
+@given(st.lists(st.tuples(st.sampled_from("ird"), st.integers(0, 50)),
+                max_size=200))
+def test_random_operation_sequences_keep_invariants(operations):
+    """Insert/remove/drain-min interleavings preserve AVL invariants."""
+    tree = AVLTree()
+    reference = set()
+    for op, key in operations:
+        if op == "i" and key not in reference:
+            tree.insert(key, key)
+            reference.add(key)
+        elif op == "r" and key in reference:
+            tree.remove(key)
+            reference.discard(key)
+        elif op == "d" and reference:
+            popped, _ = tree.pop_min()
+            assert popped == min(reference)
+            reference.discard(popped)
+        tree.check_invariants()
+        assert len(tree) == len(reference)
+    assert [key for key, _ in tree.items()] == sorted(reference)

@@ -1,0 +1,49 @@
+"""Unit tests for workload-balance and utilization metrics."""
+
+import pytest
+
+from repro.scheduling import (
+    Problem,
+    Schedule,
+    SchedRequest,
+    StaticCostModel,
+    device_utilization,
+    workload_balance,
+)
+
+
+def make_problem():
+    costs = {("r1", "d1"): 2.0, ("r2", "d1"): 2.0,
+             ("r1", "d2"): 2.0, ("r2", "d2"): 2.0}
+    return Problem(
+        requests=(SchedRequest("r1", ("d1", "d2")),
+                  SchedRequest("r2", ("d1", "d2"))),
+        device_ids=("d1", "d2"),
+        cost_model=StaticCostModel(costs),
+    )
+
+
+def test_perfectly_balanced_schedule():
+    problem = make_problem()
+    schedule = Schedule("x", {"d1": ["r1"], "d2": ["r2"]})
+    assert workload_balance(problem, schedule) == pytest.approx(0.0)
+    assert device_utilization(problem, schedule) == {
+        "d1": pytest.approx(1.0), "d2": pytest.approx(1.0)}
+
+
+def test_lopsided_schedule():
+    problem = make_problem()
+    schedule = Schedule("x", {"d1": ["r1", "r2"], "d2": []})
+    # Completions (4, 0): mean 2, std 2 -> CV = 1.
+    assert workload_balance(problem, schedule) == pytest.approx(1.0)
+    utilization = device_utilization(problem, schedule)
+    assert utilization["d1"] == pytest.approx(1.0)
+    assert utilization["d2"] == pytest.approx(0.0)
+
+
+def test_empty_schedule():
+    problem = Problem(requests=(), device_ids=("d1",),
+                      cost_model=StaticCostModel({}))
+    schedule = Schedule("x", {"d1": []})
+    assert workload_balance(problem, schedule) == 0.0
+    assert device_utilization(problem, schedule) == {"d1": 0.0}

@@ -1,0 +1,56 @@
+"""Cross-validation: kernel execution agrees with arithmetic replay."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling import (
+    LerfaSrfeScheduler,
+    ListScheduler,
+    RandomScheduler,
+    SrfaeScheduler,
+    service_makespan,
+    uniform_camera_workload,
+)
+from repro.scheduling.executor import execute_schedule
+
+
+@pytest.mark.parametrize("factory", [
+    LerfaSrfeScheduler, SrfaeScheduler, ListScheduler, RandomScheduler,
+], ids=lambda f: f.name)
+def test_kernel_and_replay_agree(factory):
+    problem = uniform_camera_workload(15, 5, seed=11)
+    schedule = factory(0).schedule(problem)
+    replay = service_makespan(problem, schedule)
+    executed = execute_schedule(problem, schedule)
+    assert executed.makespan == pytest.approx(replay)
+
+
+def test_completion_times_monotone_per_device():
+    problem = uniform_camera_workload(12, 3, seed=2)
+    schedule = SrfaeScheduler(0).schedule(problem)
+    result = execute_schedule(problem, schedule)
+    for device_id, queue in schedule.assignments.items():
+        times = [result.completion_times[r] for r in queue]
+        assert times == sorted(times)
+
+
+def test_device_busy_accounting():
+    problem = uniform_camera_workload(8, 2, seed=3)
+    schedule = ListScheduler(0).schedule(problem)
+    result = execute_schedule(problem, schedule)
+    # Every device's busy time equals its completion (work from t=0,
+    # no idling within a queue).
+    for device_id, queue in schedule.assignments.items():
+        if queue:
+            assert result.device_busy[device_id] == pytest.approx(
+                result.completion_times[queue[-1]])
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(1, 10), m=st.integers(1, 4), seed=st.integers(0, 50))
+def test_agreement_property(n, m, seed):
+    problem = uniform_camera_workload(n, m, seed=seed)
+    schedule = SrfaeScheduler(seed).schedule(problem)
+    assert execute_schedule(problem, schedule).makespan == pytest.approx(
+        service_makespan(problem, schedule))

@@ -1,0 +1,79 @@
+"""LS-specific behaviour: idle-machine pull, retirement, list order."""
+
+import pytest
+
+from repro.scheduling import (
+    ListScheduler,
+    Problem,
+    SchedRequest,
+    StaticCostModel,
+    service_makespan,
+)
+
+
+def test_idle_machine_takes_next_listed_job():
+    """Jobs go to machines in list order as machines free up."""
+    costs = {(f"r{i}", d): 2.0 for i in range(4) for d in ("d1", "d2")}
+    problem = Problem(
+        requests=tuple(SchedRequest(f"r{i}", ("d1", "d2"))
+                       for i in range(4)),
+        device_ids=("d1", "d2"),
+        cost_model=StaticCostModel(costs),
+    )
+    schedule = ListScheduler(0).schedule(problem)
+    # Equal costs: strict alternation d1, d2, d1, d2.
+    assert schedule.assignments["d1"] == ["r0", "r2"]
+    assert schedule.assignments["d2"] == ["r1", "r3"]
+
+
+def test_fast_machine_takes_more_jobs():
+    costs = {}
+    for i in range(6):
+        costs[(f"r{i}", "fast")] = 1.0
+        costs[(f"r{i}", "slow")] = 5.0
+    problem = Problem(
+        requests=tuple(SchedRequest(f"r{i}", ("fast", "slow"))
+                       for i in range(6)),
+        device_ids=("fast", "slow"),
+        cost_model=StaticCostModel(costs),
+    )
+    schedule = ListScheduler(0).schedule(problem)
+    assert len(schedule.assignments["fast"]) > len(
+        schedule.assignments["slow"])
+
+
+def test_machine_with_no_eligible_jobs_retires():
+    """d2 is eligible for nothing; LS must not stall on it."""
+    costs = {("r1", "d1"): 1.0, ("r2", "d1"): 1.0}
+    problem = Problem(
+        requests=(SchedRequest("r1", ("d1",)),
+                  SchedRequest("r2", ("d1",))),
+        device_ids=("d1", "d2"),
+        cost_model=StaticCostModel(costs),
+    )
+    schedule = ListScheduler(0).schedule(problem)
+    assert schedule.assignments["d1"] == ["r1", "r2"]
+    assert schedule.assignments["d2"] == []
+    assert service_makespan(problem, schedule) == pytest.approx(2.0)
+
+
+def test_ls_ignores_cost_in_job_choice():
+    """LS takes the *first listed* eligible job, not the cheapest —
+    the naivety the proposed algorithms improve on."""
+    costs = {("expensive", "d1"): 9.0, ("cheap", "d1"): 1.0}
+    problem = Problem(
+        requests=(SchedRequest("expensive", ("d1",)),
+                  SchedRequest("cheap", ("d1",))),
+        device_ids=("d1",),
+        cost_model=StaticCostModel(costs),
+    )
+    schedule = ListScheduler(0).schedule(problem)
+    assert schedule.assignments["d1"] == ["expensive", "cheap"]
+
+
+def test_ls_is_deterministic():
+    from repro.scheduling import uniform_camera_workload
+    problem = uniform_camera_workload(15, 5, seed=4)
+    first = ListScheduler(0).schedule(problem)
+    second = ListScheduler(99).schedule(problem)  # seed irrelevant to LS
+    assert first.assignments == second.assignments

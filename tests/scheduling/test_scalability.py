@@ -1,0 +1,48 @@
+"""Scalability checks: the real-time requirement at larger instances.
+
+"The computational cost of our scheduling algorithm must be small even
+if the given input size is large" (Section 5.1). These tests pin the
+proposed algorithms' scheduling time at instance sizes well beyond the
+paper's 30-request maximum.
+"""
+
+import pytest
+
+from repro.scheduling import (
+    LerfaSrfeScheduler,
+    ListScheduler,
+    SrfaeScheduler,
+    service_makespan,
+    uniform_camera_workload,
+)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("factory", [
+    LerfaSrfeScheduler, SrfaeScheduler, ListScheduler,
+], ids=lambda f: f.name)
+def test_greedy_algorithms_fast_at_200_requests(factory):
+    problem = uniform_camera_workload(200, 50, seed=0)
+    schedule = factory(0).schedule(problem)
+    schedule.validate(problem)
+    # A few seconds of computation at most for 200 requests on 50
+    # devices (generous so a loaded CI machine does not flake).
+    assert schedule.scheduling_seconds < 3.0
+
+
+@pytest.mark.slow
+def test_makespan_quality_holds_at_scale():
+    problem = uniform_camera_workload(200, 50, seed=1)
+    srfae = service_makespan(problem, SrfaeScheduler(1).schedule(problem))
+    ls = service_makespan(problem, ListScheduler(1).schedule(problem))
+    assert srfae < ls
+
+
+@pytest.mark.slow
+def test_srfae_scheduling_grows_manageably():
+    """Doubling n should not blow scheduling time up more than ~8x
+    (the algorithm is O(n^2 m) worst case with cheap constants)."""
+    small = SrfaeScheduler(0).schedule(uniform_camera_workload(50, 10, seed=2))
+    large = SrfaeScheduler(0).schedule(uniform_camera_workload(100, 10, seed=2))
+    assert large.scheduling_seconds < 10 * max(small.scheduling_seconds,
+                                               1e-3)

@@ -1,0 +1,248 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Interrupt
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_start():
+    env = Environment(start=5.0)
+    assert env.now == 5.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(SimulationError):
+        Environment(start=-1.0)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.5)
+
+    env.process(proc(env))
+    end = env.run()
+    assert end == pytest.approx(2.5)
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-0.1)
+
+
+def test_sequential_timeouts_accumulate():
+    env = Environment()
+    times = []
+
+    def proc(env):
+        yield env.timeout(1.0)
+        times.append(env.now)
+        yield env.timeout(2.0)
+        times.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert times == [pytest.approx(1.0), pytest.approx(3.0)]
+
+
+def test_two_processes_interleave():
+    env = Environment()
+    order = []
+
+    def proc(env, name, delay):
+        yield env.timeout(delay)
+        order.append((name, env.now))
+
+    env.process(proc(env, "slow", 3.0))
+    env.process(proc(env, "fast", 1.0))
+    env.run()
+    assert order == [("fast", 1.0), ("slow", 3.0)]
+
+
+def test_same_time_events_are_fifo():
+    env = Environment()
+    order = []
+
+    def proc(env, name):
+        yield env.timeout(1.0)
+        order.append(name)
+
+    for name in ("a", "b", "c"):
+        env.process(proc(env, name))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_stops_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(10.0)
+
+    env.process(proc(env))
+    end = env.run(until=4.0)
+    assert end == 4.0
+    assert env.pending_events == 1
+
+
+def test_run_until_past_raises():
+    env = Environment(start=5.0)
+    with pytest.raises(SimulationError):
+        env.run(until=1.0)
+
+
+def test_process_returns_value_via_yield():
+    env = Environment()
+    results = []
+
+    def child(env):
+        yield env.timeout(1.0)
+        return 42
+
+    def parent(env):
+        value = yield env.process(child(env))
+        results.append(value)
+
+    env.process(parent(env))
+    env.run()
+    assert results == [42]
+
+
+def test_timeout_carries_value():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        value = yield env.timeout(1.0, value="ping")
+        seen.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == ["ping"]
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    gate = env.event()
+    seen = []
+
+    def waiter(env):
+        value = yield gate
+        seen.append((env.now, value))
+
+    def opener(env):
+        yield env.timeout(2.0)
+        gate.succeed("open")
+
+    env.process(waiter(env))
+    env.process(opener(env))
+    env.run()
+    assert seen == [(2.0, "open")]
+
+
+def test_event_trigger_twice_rejected():
+    env = Environment()
+    gate = env.event()
+    gate.succeed(1)
+    with pytest.raises(SimulationError):
+        gate.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield gate
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    def failer(env):
+        yield env.timeout(1.0)
+        gate.fail(ValueError("boom"))
+
+    env.process(waiter(env))
+    env.process(failer(env))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_interrupt_raises_inside_process():
+    env = Environment()
+    outcomes = []
+
+    def victim(env):
+        try:
+            yield env.timeout(10.0)
+            outcomes.append("finished")
+        except Interrupt as intr:
+            outcomes.append(("interrupted", env.now, intr.cause))
+
+    def attacker(env, proc):
+        yield env.timeout(3.0)
+        proc.interrupt("redirect")
+
+    proc = env.process(victim(env))
+    env.process(attacker(env, proc))
+    env.run()
+    assert outcomes == [("interrupted", 3.0, "redirect")]
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    proc = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_yield_non_event_rejected():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_waiting_on_already_triggered_event():
+    env = Environment()
+    gate = env.event()
+    gate.succeed("early")
+    seen = []
+
+    def waiter(env):
+        value = yield gate
+        seen.append(value)
+
+    env.process(waiter(env))
+    env.run()
+    assert seen == ["early"]
+
+
+def test_process_is_alive_lifecycle():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.0)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive

@@ -1,0 +1,154 @@
+"""Unit tests for simulated locks and resources."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, FifoResource, SimLock
+
+
+def test_uncontended_lock_grants_immediately():
+    env = Environment()
+    lock = SimLock(env)
+    seen = []
+
+    def proc(env):
+        yield lock.acquire("a")
+        seen.append(env.now)
+        lock.release("a")
+
+    env.process(proc(env))
+    env.run()
+    assert seen == [0.0]
+    assert not lock.locked
+
+
+def test_contended_lock_is_fifo():
+    env = Environment()
+    lock = SimLock(env)
+    order = []
+
+    def proc(env, name, hold):
+        yield lock.acquire(name)
+        order.append((name, env.now))
+        yield env.timeout(hold)
+        lock.release(name)
+
+    env.process(proc(env, "first", 2.0))
+    env.process(proc(env, "second", 1.0))
+    env.process(proc(env, "third", 1.0))
+    env.run()
+    assert order == [("first", 0.0), ("second", 2.0), ("third", 3.0)]
+
+
+def test_release_by_non_holder_rejected():
+    env = Environment()
+    lock = SimLock(env)
+
+    def proc(env):
+        yield lock.acquire("owner")
+        with pytest.raises(SimulationError):
+            lock.release("impostor")
+        lock.release("owner")
+
+    env.process(proc(env))
+    env.run()
+
+
+def test_reentrant_acquire_rejected():
+    env = Environment()
+    lock = SimLock(env)
+
+    def proc(env):
+        yield lock.acquire("a")
+        with pytest.raises(SimulationError):
+            lock.acquire("a")
+        lock.release("a")
+
+    env.process(proc(env))
+    env.run()
+
+
+def test_lock_cancel_removes_waiter():
+    env = Environment()
+    lock = SimLock(env)
+    served = []
+
+    def holder(env):
+        yield lock.acquire("holder")
+        yield env.timeout(5.0)
+        lock.release("holder")
+
+    def impatient(env):
+        yield env.timeout(1.0)
+        lock.acquire("impatient")
+        yield env.timeout(1.0)
+        assert lock.cancel("impatient") is True
+
+    def patient(env):
+        yield env.timeout(1.5)
+        yield lock.acquire("patient")
+        served.append(env.now)
+        lock.release("patient")
+
+    env.process(holder(env))
+    env.process(impatient(env))
+    env.process(patient(env))
+    env.run()
+    assert served == [5.0]
+
+
+def test_cancel_unknown_token_returns_false():
+    env = Environment()
+    lock = SimLock(env)
+    assert lock.cancel("nobody") is False
+
+
+def test_none_token_rejected():
+    env = Environment()
+    lock = SimLock(env)
+    with pytest.raises(SimulationError):
+        lock.acquire(None)
+
+
+def test_resource_capacity_admits_up_to_capacity():
+    env = Environment()
+    res = FifoResource(env, capacity=2)
+    entered = []
+
+    def proc(env, name):
+        yield res.acquire()
+        entered.append((name, env.now))
+        yield env.timeout(1.0)
+        res.release()
+
+    for name in ("a", "b", "c"):
+        env.process(proc(env, name))
+    env.run()
+    assert entered == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+
+def test_resource_bad_capacity_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        FifoResource(env, capacity=0)
+
+
+def test_resource_over_release_rejected():
+    env = Environment()
+    res = FifoResource(env, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_available_accounting():
+    env = Environment()
+    res = FifoResource(env, capacity=3)
+
+    def proc(env):
+        yield res.acquire()
+        assert res.available == 2
+        res.release()
+        assert res.available == 3
+
+    env.process(proc(env))
+    env.run()

@@ -1,0 +1,169 @@
+"""Unit tests for the device locking mechanism (paper Section 4)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment
+from repro.sync import DeviceLockManager, LockToken
+
+
+def test_tokens_are_unique():
+    a, b = LockToken("req1"), LockToken("req1")
+    assert a != b
+
+
+def test_acquire_release_cycle():
+    env = Environment()
+    manager = DeviceLockManager(env)
+    token = LockToken("req1")
+
+    def proc(env):
+        yield from manager.acquire("cam1", token)
+        assert manager.is_locked("cam1")
+        manager.release("cam1", token)
+        assert not manager.is_locked("cam1")
+
+    env.process(proc(env))
+    env.run()
+
+
+def test_second_action_waits_for_unlock():
+    env = Environment()
+    manager = DeviceLockManager(env)
+    serviced = []
+
+    def action(env, name, hold):
+        token = LockToken(name)
+        yield from manager.acquire("cam1", token)
+        serviced.append((name, env.now))
+        yield env.timeout(hold)
+        manager.release("cam1", token)
+
+    env.process(action(env, "first", 2.0))
+    env.process(action(env, "second", 1.0))
+    env.run()
+    assert serviced == [("first", 0.0), ("second", 2.0)]
+
+
+def test_locks_are_per_device():
+    env = Environment()
+    manager = DeviceLockManager(env)
+    serviced = []
+
+    def action(env, device, name):
+        token = LockToken(name)
+        yield from manager.acquire(device, token)
+        serviced.append((name, env.now))
+        yield env.timeout(1.0)
+        manager.release(device, token)
+
+    env.process(action(env, "cam1", "on_cam1"))
+    env.process(action(env, "cam2", "on_cam2"))
+    env.run()
+    # Different devices do not serialize.
+    assert serviced == [("on_cam1", 0.0), ("on_cam2", 0.0)]
+
+
+def test_try_acquire_skips_busy_device():
+    env = Environment()
+    manager = DeviceLockManager(env)
+    outcomes = []
+
+    def holder(env):
+        token = LockToken("holder")
+        yield from manager.acquire("cam1", token)
+        yield env.timeout(5.0)
+        manager.release("cam1", token)
+
+    def opportunist(env):
+        yield env.timeout(1.0)
+        outcomes.append(manager.try_acquire("cam1", LockToken("opportunist")))
+        token = LockToken("opportunist2")
+        yield env.timeout(5.0)
+        outcomes.append(manager.try_acquire("cam1", token))
+        manager.release("cam1", token)
+
+    env.process(holder(env))
+    env.process(opportunist(env))
+    env.run()
+    assert outcomes == [False, True]
+
+
+def test_contention_counters():
+    env = Environment()
+    manager = DeviceLockManager(env)
+
+    def action(env, name, hold):
+        token = LockToken(name)
+        yield from manager.acquire("cam1", token)
+        yield env.timeout(hold)
+        manager.release("cam1", token)
+
+    env.process(action(env, "a", 1.0))
+    env.process(action(env, "b", 1.0))
+    env.run()
+    assert manager.acquisitions == 2
+    assert manager.contended_acquisitions == 1
+
+
+def test_release_by_non_holder_rejected():
+    env = Environment()
+    manager = DeviceLockManager(env)
+    token = LockToken("a")
+
+    def proc(env):
+        yield from manager.acquire("cam1", token)
+        with pytest.raises(SimulationError, match="not the holder"):
+            manager.release("cam1", LockToken("b"))
+        manager.release("cam1", token)
+
+    env.process(proc(env))
+    env.run()
+
+
+def test_cancel_queued_request():
+    env = Environment()
+    manager = DeviceLockManager(env)
+    waiter_token = LockToken("waiter")
+    holder_token = LockToken("holder")
+
+    def holder(env):
+        yield from manager.acquire("cam1", holder_token)
+        yield env.timeout(2.0)
+        assert manager.cancel("cam1", waiter_token) is True
+        manager.release("cam1", holder_token)
+
+    def waiter(env):
+        yield env.timeout(1.0)
+        manager._lock_for("cam1").acquire(waiter_token)
+
+    env.process(holder(env))
+    env.process(waiter(env))
+    env.run()
+    assert not manager.is_locked("cam1")
+
+
+def test_queue_length_reporting():
+    env = Environment()
+    manager = DeviceLockManager(env)
+
+    def holder(env):
+        token = LockToken("holder")
+        yield from manager.acquire("cam1", token)
+        yield env.timeout(3.0)
+        manager.release("cam1", token)
+
+    def waiter(env, name):
+        token = LockToken(name)
+        yield from manager.acquire("cam1", token)
+        manager.release("cam1", token)
+
+    def observer(env):
+        yield env.timeout(1.0)
+        assert manager.queue_length("cam1") == 2
+
+    env.process(holder(env))
+    env.process(waiter(env, "w1"))
+    env.process(waiter(env, "w2"))
+    env.process(observer(env))
+    env.run()

@@ -1,0 +1,22 @@
+"""Smoke tests for the ``python -m repro`` entry point."""
+
+import repro
+from repro.__main__ import main, run_demo
+
+
+def test_version_flag(capsys):
+    assert main(["--version"]) == 0
+    assert capsys.readouterr().out.strip() == repro.__version__
+
+
+def test_banner_without_demo(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "Aorta" in out and "ICDCS 2005" in out
+
+
+def test_demo_runs_to_completion(capsys):
+    assert run_demo() == 0
+    out = capsys.readouterr().out
+    assert "Photo stored at photos/admin/" in out
+    assert "request_serviced" in out

@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public API surface; they must keep working.
+"""
+
+import sys
+
+import pytest
+
+sys.path.insert(0, "examples")
+
+
+def test_quickstart(capsys):
+    import quickstart
+    quickstart.main()
+    out = capsys.readouterr().out
+    assert "Registered continuous query" in out
+    assert "sharp       True" in out
+
+
+def test_snapshot_queries(capsys):
+    import snapshot_queries
+    snapshot_queries.main()
+    out = capsys.readouterr().out
+    assert "Scan(camera AS c)" in out
+    assert "row(s)" in out
+
+
+def test_custom_device(capsys):
+    import custom_device
+    custom_device.main()
+    out = capsys.readouterr().out
+    assert "ENGAGED" in out
+    assert "lockdown action(s) serviced" in out
+
+
+def test_sensor_field(capsys):
+    import sensor_field
+    sensor_field.main()
+    out = capsys.readouterr().out
+    assert "Hop depths" in out
+    assert "blinked" in out
+
+
+@pytest.mark.slow
+def test_surveillance_lab(capsys):
+    import surveillance_lab
+    surveillance_lab.main()
+    out = capsys.readouterr().out
+    assert "requests completed" in out
+    assert "MMS in manager inbox" in out
+
+
+def test_scheduling_study_core(capsys):
+    """Drive the study's internals with a tiny configuration."""
+    import scheduling_study
+    from repro.scheduling import uniform_camera_workload
+    problems = [uniform_camera_workload(6, 3, seed=s) for s in range(2)]
+    rows = scheduling_study.run_workloads(
+        problems, scheduling_study.algorithm_factories(fast=True))
+    assert [name for name, *_ in rows] == [
+        "LERFA+SRFE", "SRFAE", "LS", "SA", "RANDOM"]
+    scheduling_study.print_table("smoke", rows)
+    assert "smoke" in capsys.readouterr().out
