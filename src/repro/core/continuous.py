@@ -68,6 +68,10 @@ class ContinuousQueryExecutor:
         self.dispatcher = dispatcher
         self.config = config
         self.queries: Dict[str, RegisteredQuery] = {}
+        #: Event table -> queries reading it, maintained at
+        #: register/drop time so each poll walks an index instead of
+        #: rebuilding the table set from every registered query.
+        self._queries_by_table: Dict[str, List[RegisteredQuery]] = {}
         self._scans: Dict[str, ScanOperator] = {}
         self._running = False
         self.polls = 0
@@ -85,6 +89,7 @@ class ContinuousQueryExecutor:
         query = RegisteredQuery(plan=plan)
         self.dispatcher.operator_for(plan.action).attach(plan.query_name)
         self.queries[plan.query_name] = query
+        self._queries_by_table.setdefault(plan.event_table, []).append(query)
         self.dispatcher.tracer.record(
             self.env.now, "query_registered", query=plan.query_name,
             action=plan.action.name)
@@ -95,6 +100,11 @@ class ContinuousQueryExecutor:
         if name not in self.queries:
             raise RegistrationError(f"no registered query {name!r}")
         query = self.queries.pop(name)
+        readers = self._queries_by_table.get(query.plan.event_table, [])
+        if query in readers:
+            readers.remove(query)
+            if not readers:
+                del self._queries_by_table[query.plan.event_table]
         self.dispatcher.operator_for(query.plan.action).detach(name)
         self.dispatcher.tracer.record(self.env.now, "query_dropped",
                                       query=name)
@@ -145,13 +155,16 @@ class ContinuousQueryExecutor:
         """
         self.polls += 1
         emitted = 0
-        tables = {q.plan.event_table for q in self.queries.values()
-                  if q.enabled}
-        for table in tables:
+        for table in list(self._queries_by_table):
+            if not any(q.enabled
+                       for q in self._queries_by_table.get(table, ())):
+                continue
             scan = self._scan_for(table)
             rows = yield from scan.scan()
-            for query in list(self.queries.values()):
-                if query.enabled and query.plan.event_table == table:
+            # Re-read the index after the scan: queries may have been
+            # registered or dropped while the acquisition was in flight.
+            for query in list(self._queries_by_table.get(table, ())):
+                if query.enabled:
                     emitted += self._detect_events(query, rows)
         return emitted
 
@@ -167,9 +180,11 @@ class ContinuousQueryExecutor:
                        rows: List[DeviceTuple]) -> int:
         plan = query.plan
         emitted = 0
+        # One context per detection pass, rebound per row — evaluate()
+        # never retains it, so reuse avoids an allocation per device row.
+        context = EvaluationContext(tuples={}, functions=self.functions)
         for row in rows:
-            context = EvaluationContext(
-                tuples={plan.event_alias: row}, functions=self.functions)
+            context.tuples[plan.event_alias] = row
             holds = (True if plan.event_predicate is None
                      else bool(evaluate(plan.event_predicate, context)))
             previously = query.last_state.get(row.device_id, False)

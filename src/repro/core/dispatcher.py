@@ -55,8 +55,19 @@ class _ActionCostAdapter(SchedulingCostModel):
     """Bridges the engine cost model into a scheduling problem.
 
     Request payloads are the :class:`ActionRequest` objects; statuses
-    are physical-status dicts from probing.
+    are physical-status dicts from probing. The adapter is
+    deterministic (profile interpolation has no noise), so schedulers
+    route it through their memoizing cost oracle — repeated
+    ``(request, device, status)`` triples inside one batch hit the
+    cache instead of re-running quantity resolution and profile
+    estimation.
     """
+
+    deterministic = True
+    #: An estimate runs quantity resolution + profile interpolation —
+    #: roughly an order of magnitude over a memo probe — so the
+    #: schedulers' "auto" policy caches this model.
+    cache_by_default = True
 
     def __init__(
         self,
@@ -95,6 +106,9 @@ class DispatchReport:
     scheduling_seconds: float
     batch_started_at: float
     batch_finished_at: float
+    #: Hit/miss counters of the scheduler's memoizing cost oracle for
+    #: this batch (None when caching was off or nothing was scheduled).
+    cache_stats: Optional[Dict[str, float]] = None
 
     @property
     def makespan_seconds(self) -> float:
@@ -134,6 +148,10 @@ class Dispatcher:
         #: All requests that went through dispatch, in completion order.
         self.completed: List[ActionRequest] = []
         self.reports: List[DispatchReport] = []
+        #: Running outcome counters, so statistics() is O(1) instead of
+        #: rescanning `completed` on every call.
+        self.serviced_total = 0
+        self.failed_total = 0
 
     # ------------------------------------------------------------------
     # Shared action operators
@@ -230,6 +248,7 @@ class Dispatcher:
             else:
                 request.mark_failed(self.env.now, "no available candidate")
                 self.completed.append(request)
+                self.failed_total += 1
                 unschedulable += 1
 
         scheduling_seconds = 0.0
@@ -279,6 +298,8 @@ class Dispatcher:
                 else:
                     failed += 1
                 self.completed.append(request)
+            self.serviced_total += serviced
+            self.failed_total += failed
 
         report = DispatchReport(
             action_name=action.name,
@@ -290,6 +311,8 @@ class Dispatcher:
             scheduling_seconds=scheduling_seconds,
             batch_started_at=batch_started,
             batch_finished_at=self.env.now,
+            cache_stats=(self.scheduler.last_cache_stats
+                         if schedulable else None),
         )
         self.reports.append(report)
         self.tracer.record(

@@ -333,11 +333,13 @@ class AortaEngine:
         return report
 
     def statistics(self) -> Dict[str, Any]:
-        """A status snapshot for monitoring and tests."""
-        serviced = sum(1 for r in self.completed_requests
-                       if r.state.value == "serviced")
-        failed = sum(1 for r in self.completed_requests
-                     if r.state.value == "failed")
+        """A status snapshot for monitoring and tests.
+
+        O(1): outcome totals are maintained by the dispatcher as
+        requests complete, not recounted from the completion log.
+        """
+        serviced = self.dispatcher.serviced_total
+        failed = self.dispatcher.failed_total
         return {
             "virtual_time": self.env.now,
             "devices": len(self.comm.registry),

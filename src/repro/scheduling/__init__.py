@@ -19,6 +19,7 @@ stand-in for the paper's optimal MIP discussion).
 """
 
 from repro.scheduling.base import Schedule, Scheduler
+from repro.scheduling.cost_cache import CachingCostModel, freeze_status
 from repro.scheduling.lerfa_srfe import LerfaSrfeScheduler
 from repro.scheduling.list_scheduling import ListScheduler
 from repro.scheduling.executor import ExecutionResult, execute_schedule
@@ -53,6 +54,7 @@ from repro.scheduling.workload import (
 )
 
 __all__ = [
+    "CachingCostModel",
     "CameraStatusCostModel",
     "ExecutionResult",
     "LerfaSrfeScheduler",
@@ -72,6 +74,7 @@ __all__ = [
     "device_completion_times",
     "device_utilization",
     "execute_schedule",
+    "freeze_status",
     "matrix_workload",
     "optimal_schedule",
     "request_completion_times",

@@ -4,10 +4,11 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Union
 
 from repro.errors import SchedulingError
+from repro.scheduling.cost_cache import CachingCostModel
 from repro.scheduling.problem import Problem
 
 #: The paper's SAP/CAP taxonomy (Section 5.2): Sequential vs Concurrent
@@ -31,13 +32,27 @@ class Schedule:
     algorithm: str
     assignments: Dict[str, List[str]]
     scheduling_seconds: float = 0.0
+    #: Lazily built request -> device reverse index.
+    _device_index: Optional[Dict[str, str]] = field(
+        default=None, init=False, repr=False, compare=False)
 
     def device_of(self, request_id: str) -> str:
-        """The device a request was assigned to."""
-        for device_id, queue in self.assignments.items():
-            if request_id in queue:
-                return device_id
-        raise SchedulingError(f"request {request_id!r} is not scheduled")
+        """The device a request was assigned to.
+
+        O(1) via a reverse index built on first use; mutating
+        ``assignments`` after the first lookup is unsupported.
+        """
+        index = self._device_index
+        if index is None:
+            index = {request_id: device_id
+                     for device_id, queue in self.assignments.items()
+                     for request_id in queue}
+            self._device_index = index
+        try:
+            return index[request_id]
+        except KeyError:
+            raise SchedulingError(
+                f"request {request_id!r} is not scheduled") from None
 
     @property
     def scheduled_request_ids(self) -> List[str]:
@@ -83,6 +98,26 @@ class Scheduler:
     Subclasses implement :meth:`_solve`; :meth:`schedule` wraps it with
     wall-clock timing and feasibility validation. Schedulers that use
     randomness draw from ``self.rng`` so runs are reproducible.
+
+    ``cost_cache`` controls the memoizing cost oracle every algorithm
+    estimates through:
+
+    * ``"auto"`` (default) — a fresh :class:`CachingCostModel` per
+      ``schedule`` call, but only for cost models that declare
+      ``cache_by_default`` (the expensive engine oracle); cheap analytic
+      models run bare, so the paper's scheduling-time figures are not
+      perturbed by cache bookkeeping;
+    * ``True`` — force a fresh per-schedule cache regardless of the
+      model's hint;
+    * a :class:`CachingCostModel` instance — shared/persistent cache,
+      for recurring batches of the same problem (steady-state dispatch);
+    * ``False``/``None`` — no caching (the ablation baseline).
+
+    Caching is skipped automatically for non-deterministic cost models
+    (it would freeze their noise draws) and is observationally
+    transparent otherwise: schedules are identical with it on and off.
+    ``last_cache_stats`` exposes the oracle's hit/miss counters of the
+    most recent run.
     """
 
     #: Short display name, as used in the paper's figures.
@@ -90,18 +125,56 @@ class Scheduler:
     #: SAP or CAP (Section 5.2 taxonomy).
     category: str = CATEGORY_SAP
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0,
+                 cost_cache: Union[bool, str, CachingCostModel] = "auto",
+                 ) -> None:
         self.rng = random.Random(seed)
+        self.cost_cache = cost_cache
+        self.last_cache_stats: Optional[Dict[str, float]] = None
 
     def _solve(self, problem: Problem) -> Dict[str, List[str]]:
         """Produce per-device ordered request queues."""
         raise NotImplementedError
 
+    def _cached_problem(self, problem: Problem) -> Problem:
+        """Route the problem's cost oracle through the memo cache.
+
+        Returns ``problem`` unchanged when caching is off, the model is
+        non-deterministic, the caller already wrapped it, or the policy
+        is ``"auto"`` and the model does not opt in.
+        """
+        cost_model = problem.cost_model
+        if not self.cost_cache:
+            return problem
+        if isinstance(cost_model, CachingCostModel):
+            return problem
+        if not getattr(cost_model, "deterministic", True):
+            return problem
+        if isinstance(self.cost_cache, CachingCostModel):
+            if self.cost_cache.inner is not cost_model:
+                raise SchedulingError(
+                    "shared cost cache wraps a different cost model than "
+                    "the problem's; build the cache from problem.cost_model"
+                )
+            cache = self.cost_cache
+        elif self.cost_cache == "auto":
+            if not getattr(cost_model, "cache_by_default", False):
+                return problem
+            cache = CachingCostModel(cost_model)
+        else:
+            cache = CachingCostModel(cost_model)
+        return replace(problem, cost_model=cache)
+
     def schedule(self, problem: Problem) -> Schedule:
         """Solve ``problem``, returning a validated, timed schedule."""
+        problem = self._cached_problem(problem)
         started = time.perf_counter()
         assignments = self._solve(problem)
         elapsed = time.perf_counter() - started
+        cost_model = problem.cost_model
+        self.last_cache_stats = (cost_model.stats()
+                                 if isinstance(cost_model, CachingCostModel)
+                                 else None)
         # Normalize: every device has a (possibly empty) queue.
         for device_id in problem.device_ids:
             assignments.setdefault(device_id, [])

@@ -91,14 +91,15 @@ class LerfaSrfeScheduler(Scheduler):
             # it and service the shortest.
             best_index = 0
             best_cost = float("inf")
+            best_post = status
             for index, request in enumerate(remaining):
-                cost, _ = problem.cost_model.estimate(
+                cost, post = problem.cost_model.estimate(
                     request, device_id, status)
                 if cost < best_cost:
                     best_cost = cost
                     best_index = index
+                    best_post = post
             request = remaining.pop(best_index)
-            _, status = problem.cost_model.estimate(
-                request, device_id, status)
+            status = best_post
             order.append(request.request_id)
         return order

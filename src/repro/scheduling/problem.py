@@ -40,7 +40,22 @@ class SchedulingCostModel:
     really costs; by default it equals the estimate (the paper found its
     cost model "reasonably accurate"), and subclasses may add estimation
     error for robustness studies.
+
+    ``deterministic`` declares that repeated ``estimate``/``actual``
+    calls with identical inputs return identical results; only
+    deterministic models are eligible for memoization through
+    :class:`~repro.scheduling.cost_cache.CachingCostModel`. Models that
+    draw noise must override it to ``False``.
+
+    ``cache_by_default`` opts the model into the schedulers' default
+    (``"auto"``) caching policy. Leave it ``False`` for cheap analytic
+    models — a memo lookup costs about as much as their estimate — and
+    set it ``True`` when an estimate is expensive enough to dwarf a
+    dict probe (the engine's resolver + profile pipeline).
     """
+
+    deterministic: bool = True
+    cache_by_default: bool = False
 
     def initial_status(self, device_id: str) -> Any:
         """The device's physical status before any request is serviced."""
@@ -110,20 +125,24 @@ class Problem:
             raise SchedulingError("a problem needs at least one device")
         if len(set(self.device_ids)) != len(self.device_ids):
             raise SchedulingError("duplicate device ids")
-        seen_requests: set[str] = set()
+        by_id: Dict[str, SchedRequest] = {}
         devices = set(self.device_ids)
         for request in self.requests:
-            if request.request_id in seen_requests:
+            if request.request_id in by_id:
                 raise SchedulingError(
                     f"duplicate request id {request.request_id!r}"
                 )
-            seen_requests.add(request.request_id)
+            by_id[request.request_id] = request
             unknown = set(request.candidates) - devices
             if unknown:
                 raise SchedulingError(
                     f"request {request.request_id!r} names unknown "
                     f"devices: {sorted(unknown)}"
                 )
+        #: Request lookup index; keeps `request()` (and everything built
+        #: on it: Schedule.validate, the metrics, the dispatcher's
+        #: assignment loop) O(1) per lookup instead of O(n).
+        self._requests_by_id = by_id
 
     @property
     def n_requests(self) -> int:
@@ -135,10 +154,11 @@ class Problem:
 
     def request(self, request_id: str) -> SchedRequest:
         """Look up a request by id."""
-        for request in self.requests:
-            if request.request_id == request_id:
-                return request
-        raise SchedulingError(f"unknown request {request_id!r}")
+        try:
+            return self._requests_by_id[request_id]
+        except KeyError:
+            raise SchedulingError(
+                f"unknown request {request_id!r}") from None
 
     def eligible_requests(self, device_id: str) -> List[SchedRequest]:
         """Requests that may be serviced on ``device_id``."""

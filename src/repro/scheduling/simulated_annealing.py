@@ -9,14 +9,21 @@ Metropolis criterion with geometric cooling.
 
 As in the paper's Figure 5, SA's makespans can be competitive but its
 *scheduling time* is orders of magnitude above the greedy heuristics —
-that is the point of including it.
+that is the point of including it. The implementation evaluates moves
+*incrementally*: per-device prefix-completion arrays mean a
+relocate/swap re-estimates only the changed suffix of the touched
+queues instead of re-walking whole queues (and, before this change,
+every queue on infeasible proposals). Incremental evaluation is
+bit-identical to full re-evaluation — completions accumulate
+left-to-right either way — so schedules are unchanged; only the
+wall-clock cost per move shrinks.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Any, Dict, List, Tuple
 
 from repro.errors import SchedulingError
 from repro.scheduling.base import CATEGORY_SAP, Scheduler
@@ -50,6 +57,100 @@ class SAParameters:
             raise SchedulingError("initial_temp_factor must be positive")
 
 
+class IncrementalMakespan:
+    """Per-device prefix-completion arrays over one mutable solution.
+
+    For every device queue the evaluator stores, per position, the
+    cumulative completion time and the device's physical status after
+    servicing that position. A move that first changes position ``i``
+    of a queue only needs the suffix from ``i`` re-estimated — the
+    stored prefix is, by construction, exactly what a full left-to-right
+    walk would have produced, so incremental and full evaluation agree
+    bit-for-bit (asserted by the property tests).
+
+    Usage: mutate the solution's queues in place, then call
+    :meth:`preview` with the first changed index per touched device;
+    :meth:`commit` applies a previewed result, otherwise undo the
+    mutation and the stored state remains valid.
+    """
+
+    def __init__(self, problem: Problem,
+                 solution: Dict[str, List[SchedRequest]]) -> None:
+        self._problem = problem
+        self._solution = solution
+        self._prefix: Dict[str, List[Tuple[float, Any]]] = {
+            device_id: self._walk(device_id, 0.0,
+                                  problem.cost_model.initial_status(device_id),
+                                  solution[device_id])
+            for device_id in problem.device_ids}
+        self.completions: Dict[str, float] = {
+            device_id: (prefix[-1][0] if prefix else 0.0)
+            for device_id, prefix in self._prefix.items()}
+        self.makespan = max(self.completions.values())
+        self._argmax = max(self.completions, key=self.completions.get)
+
+    def _walk(self, device_id: str, elapsed: float, status: Any,
+              queue: List[SchedRequest]) -> List[Tuple[float, Any]]:
+        estimate = self._problem.cost_model.estimate
+        tail: List[Tuple[float, Any]] = []
+        for request in queue:
+            seconds, status = estimate(request, device_id, status)
+            elapsed += seconds
+            tail.append((elapsed, status))
+        return tail
+
+    def preview(
+        self, touched: Dict[str, int]
+    ) -> Tuple[float, Dict[str, Tuple[int, List[Tuple[float, Any]]]]]:
+        """Evaluate the mutated queues without committing.
+
+        ``touched`` maps each modified device to the first queue index
+        whose occupant changed. Returns the new makespan and the
+        recomputed suffixes (for :meth:`commit`).
+        """
+        tails: Dict[str, Tuple[int, List[Tuple[float, Any]]]] = {}
+        new_completions: Dict[str, float] = {}
+        for device_id, first_changed in touched.items():
+            prefix = self._prefix[device_id]
+            first_changed = min(first_changed, len(prefix))
+            if first_changed == 0:
+                elapsed = 0.0
+                status = self._problem.cost_model.initial_status(device_id)
+            else:
+                elapsed, status = prefix[first_changed - 1]
+            tail = self._walk(device_id, elapsed, status,
+                              self._solution[device_id][first_changed:])
+            tails[device_id] = (first_changed, tail)
+            if tail:
+                new_completions[device_id] = tail[-1][0]
+            elif first_changed:
+                new_completions[device_id] = elapsed
+            else:
+                new_completions[device_id] = 0.0
+        if self._argmax in touched:
+            # The current maximum may have shrunk: recompute over all
+            # devices (rare — only when a move touches the critical
+            # device).
+            new_makespan = max(
+                new_completions.get(device_id, completion)
+                for device_id, completion in self.completions.items())
+        else:
+            new_makespan = max(self.makespan, *new_completions.values())
+        return new_makespan, tails
+
+    def commit(self, new_makespan: float,
+               tails: Dict[str, Tuple[int, List[Tuple[float, Any]]]]) -> None:
+        """Apply a previewed evaluation to the stored prefix arrays."""
+        for device_id, (first_changed, tail) in tails.items():
+            prefix = self._prefix[device_id]
+            prefix[first_changed:] = tail
+            self.completions[device_id] = (prefix[-1][0] if prefix else 0.0)
+        self.makespan = new_makespan
+        if (self._argmax in tails
+                or self.completions[self._argmax] != new_makespan):
+            self._argmax = max(self.completions, key=self.completions.get)
+
+
 class SimulatedAnnealingScheduler(Scheduler):
     """Simulated annealing over assignments and per-device sequences."""
 
@@ -57,8 +158,9 @@ class SimulatedAnnealingScheduler(Scheduler):
     category = CATEGORY_SAP
 
     def __init__(self, seed: int = 0,
-                 parameters: SAParameters | None = None) -> None:
-        super().__init__(seed)
+                 parameters: SAParameters | None = None,
+                 cost_cache="auto") -> None:
+        super().__init__(seed, cost_cache=cost_cache)
         self.parameters = parameters or SAParameters()
         #: Move-evaluation count of the last run, for reporting.
         self.evaluations = 0
@@ -68,6 +170,8 @@ class SimulatedAnnealingScheduler(Scheduler):
     # ------------------------------------------------------------------
     def _device_completion(self, problem: Problem, device_id: str,
                            queue: List[SchedRequest]) -> float:
+        """Full-walk completion time; the incremental evaluator's
+        reference implementation (kept for tests and ablations)."""
         status = problem.cost_model.initial_status(device_id)
         elapsed = 0.0
         for request in queue:
@@ -93,10 +197,9 @@ class SimulatedAnnealingScheduler(Scheduler):
     def _solve(self, problem: Problem) -> Dict[str, List[str]]:
         params = self.parameters
         solution = self._initial_solution(problem)
-        completions = {
-            device_id: self._device_completion(problem, device_id, queue)
-            for device_id, queue in solution.items()}
-        makespan = max(completions.values())
+        evaluator = IncrementalMakespan(problem, solution)
+        self._evaluator = evaluator
+        makespan = evaluator.makespan
         best_solution = {d: list(q) for d, q in solution.items()}
         best_makespan = makespan
 
@@ -122,15 +225,11 @@ class SimulatedAnnealingScheduler(Scheduler):
                 if not touched:
                     continue
                 feasible_moves += 1
-                new_completions = dict(completions)
-                for device_id in touched:
-                    new_completions[device_id] = self._device_completion(
-                        problem, device_id, solution[device_id])
-                new_makespan = max(new_completions.values())
+                new_makespan, tails = evaluator.preview(touched)
                 delta = new_makespan - makespan
                 if delta <= 0 or (self.rng.random()
                                   < math.exp(-delta / temperature)):
-                    completions = new_completions
+                    evaluator.commit(new_makespan, tails)
                     makespan = new_makespan
                     if makespan < best_makespan:
                         best_makespan = makespan
@@ -150,11 +249,12 @@ class SimulatedAnnealingScheduler(Scheduler):
     # ------------------------------------------------------------------
     def _propose_move(
         self, problem: Problem, solution: Dict[str, List[SchedRequest]]
-    ) -> List[str]:
-        """Mutate ``solution`` in place; returns the touched devices.
+    ) -> Dict[str, int]:
+        """Mutate ``solution`` in place; returns the touched devices,
+        each mapped to the first queue index that changed.
 
         Records enough state for :meth:`_undo_move`. Returns an empty
-        list when the sampled move is a no-op.
+        mapping when the sampled move is infeasible.
         """
         if self.rng.random() < 0.5:
             return self._move_relocate(problem, solution)
@@ -163,43 +263,46 @@ class SimulatedAnnealingScheduler(Scheduler):
     def _penalty_evaluation(
         self, problem: Problem, solution: Dict[str, List[SchedRequest]],
         device_ids: List[str],
-    ) -> None:
+    ) -> float:
         """Evaluate an eligibility-violating proposal, then reject it.
 
         Anagnostopoulos & Rabadi's SA searches the unrestricted move
         space and handles machine eligibility by penalizing violating
-        solutions in the objective — so every infeasible proposal still
-        costs a *full* objective evaluation (the penalty term is global,
-        so no incremental shortcut applies). Under skewed candidate sets
-        a large fraction of proposals is infeasible, which is what blows
-        up SA's scheduling time in the paper's Figure 6.
+        solutions in the objective. The queues themselves are unchanged
+        by a rejected proposal, so the global objective is the stored
+        makespan plus the (infinite, here) penalty term — an O(m) read
+        of the prefix-completion arrays rather than a re-walk of every
+        queue. Under skewed candidate sets a large fraction of
+        proposals is infeasible and burns draw budget, which is what
+        keeps SA's scheduling time dominant in the paper's Figure 6.
         """
-        for device_id in problem.device_ids:
-            self._device_completion(problem, device_id, solution[device_id])
+        return max(self._evaluator.completions.values())
 
     def _move_relocate(
         self, problem: Problem, solution: Dict[str, List[SchedRequest]]
-    ) -> List[str]:
+    ) -> Dict[str, int]:
         request = self.rng.choice(problem.requests)
         source = next(d for d, q in solution.items() if request in q)
         # Unrestricted proposal; eligibility enforced via the penalty.
         target = self.rng.choice(problem.device_ids)
         if target not in request.candidates:
             self._penalty_evaluation(problem, solution, [source, target])
-            return []
+            return {}
         source_queue = solution[source]
         source_index = source_queue.index(request)
         source_queue.pop(source_index)
         target_index = self.rng.randint(0, len(solution[target]))
         solution[target].insert(target_index, request)
         self._undo = ("relocate", request, source, source_index, target)
-        return [source, target] if source != target else [source]
+        if source == target:
+            return {source: min(source_index, target_index)}
+        return {source: source_index, target: target_index}
 
     def _move_swap(
         self, problem: Problem, solution: Dict[str, List[SchedRequest]]
-    ) -> List[str]:
+    ) -> Dict[str, int]:
         if problem.n_requests < 2:
-            return []
+            return {}
         first, second = self.rng.sample(list(problem.requests), 2)
         device_first = next(d for d, q in solution.items() if first in q)
         device_second = next(d for d, q in solution.items() if second in q)
@@ -209,14 +312,15 @@ class SimulatedAnnealingScheduler(Scheduler):
                 or device_first not in second.candidates):
             self._penalty_evaluation(problem, solution,
                                      [device_first, device_second])
-            return []
+            return {}
         queue_first, queue_second = solution[device_first], solution[device_second]
         i, j = queue_first.index(first), queue_second.index(second)
         queue_first[i], queue_second[j] = second, first
         self._undo = ("swap", first, second, device_first, i,
                       device_second, j)
-        return ([device_first] if device_first == device_second
-                else [device_first, device_second])
+        if device_first == device_second:
+            return {device_first: min(i, j)}
+        return {device_first: i, device_second: j}
 
     def _undo_move(self, solution: Dict[str, List[SchedRequest]]) -> None:
         undo = self._undo

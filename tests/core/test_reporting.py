@@ -52,3 +52,40 @@ def test_statistics_consistent_with_report(engine):
     busy_cameras = [d for d in ("cam1", "cam2")
                     if report[d]["busy_seconds"] > 0]
     assert len(busy_cameras) == 1
+
+
+def test_statistics_counters_match_completion_log(engine):
+    """The O(1) dispatcher counters agree with a recount of the log."""
+    engine.execute(FIGURE_1)
+    for mote_id in ("mote1", "mote2", "mote3"):
+        engine.comm.registry.get(mote_id).inject(
+            SensorStimulus("accel_x", start=2.0, duration=2.0,
+                           magnitude=900.0))
+    engine.comm.registry.get("cam2").crash()
+    engine.start()
+    engine.run(until=60.0)
+    stats = engine.statistics()
+    from repro.actions.request import RequestState
+    completed = engine.completed_requests
+    assert stats["requests_serviced"] == sum(
+        1 for r in completed if r.state is RequestState.SERVICED)
+    assert stats["requests_failed"] == sum(
+        1 for r in completed if r.state is RequestState.FAILED)
+    assert stats["requests_completed"] == len(completed)
+    assert stats["requests_completed"] == (
+        stats["requests_serviced"] + stats["requests_failed"])
+
+
+def test_dispatch_reports_expose_cache_stats(engine):
+    """Batches scheduled through the engine oracle report cache stats."""
+    engine.execute(FIGURE_1)
+    engine.comm.registry.get("mote1").inject(
+        SensorStimulus("accel_x", start=2.0, duration=2.0,
+                       magnitude=900.0))
+    engine.start()
+    engine.run(until=30.0)
+    reports = [r for r in engine.dispatcher.reports if r.scheduled]
+    assert reports
+    for report in reports:
+        assert report.cache_stats is not None
+        assert report.cache_stats["misses"] > 0

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.devices.camera import HeadPosition
+from repro.errors import SchedulingError
 from repro.scheduling import (
     Problem,
     SchedRequest,
@@ -65,13 +66,22 @@ def test_status_rekeying_after_assignment():
     assert makespan == pytest.approx(0.72 + 15 / 68)
 
 
-def test_naive_structure_produces_identical_schedules():
+def test_all_structures_produce_identical_schedules():
     from repro.scheduling import uniform_camera_workload
     for seed in range(3):
         problem = uniform_camera_workload(15, 5, seed=seed)
-        avl = SrfaeScheduler(seed, use_avl=True).schedule(problem)
-        flat = SrfaeScheduler(seed, use_avl=False).schedule(problem)
+        heap = SrfaeScheduler(seed, structure="heap").schedule(problem)
+        avl = SrfaeScheduler(seed, structure="avl").schedule(problem)
+        flat = SrfaeScheduler(seed, structure="scan").schedule(problem)
+        assert heap.assignments == avl.assignments
         assert avl.assignments == flat.assignments
+
+
+def test_use_avl_legacy_flag_maps_to_structures():
+    assert SrfaeScheduler(0, use_avl=True).structure == "avl"
+    assert SrfaeScheduler(0, use_avl=False).structure == "scan"
+    with pytest.raises(SchedulingError):
+        SrfaeScheduler(0, structure="btree")
 
 
 def test_single_pair_problem():
