@@ -24,9 +24,11 @@ Quickstart::
     engine.run(until=60.0)
 """
 
-from repro.core.config import EngineConfig
+from repro.core.config import EngineConfig, RetryPolicy
 from repro.core.engine import AortaEngine
 from repro.devices import (
+    DeviceHealthTracker,
+    HealthPolicy,
     MobilePhone,
     PanTiltZoomCamera,
     SensorMote,
@@ -39,11 +41,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AortaEngine",
+    "DeviceHealthTracker",
     "EngineConfig",
     "Environment",
+    "HealthPolicy",
     "MobilePhone",
     "PanTiltZoomCamera",
     "Point",
+    "RetryPolicy",
     "SensorMote",
     "SensorStimulus",
     "__version__",

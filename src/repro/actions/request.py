@@ -47,11 +47,33 @@ class ActionRequest:
     #: The action's return value (e.g. a Photo) or failure reason.
     result: Any = None
     failure_reason: str = ""
+    #: Execution attempts across every device the request ran on.
+    attempts: int = 0
+    #: Times this request entered a dispatch batch (failover re-entry
+    #: increments it; the retry policy caps it at max_dispatches).
+    dispatches: int = 0
+    #: Devices that failed this request, removed from its candidates by
+    #: failover re-dispatch.
+    failed_devices: Tuple[str, ...] = ()
 
     def mark_assigned(self, device_id: str) -> None:
         """Record the scheduler's device choice."""
         self.assigned_device = device_id
         self.state = RequestState.ASSIGNED
+
+    def mark_requeued(self, failed_device: Optional[str]) -> None:
+        """Failover: back to PENDING with the failed device blacklisted.
+
+        The request re-enters its shared operator's queue; the next
+        batch reschedules it over the surviving candidates.
+        """
+        if failed_device is not None:
+            self.failed_devices = self.failed_devices + (failed_device,)
+            self.candidates = tuple(
+                device_id for device_id in self.candidates
+                if device_id != failed_device)
+        self.assigned_device = None
+        self.state = RequestState.PENDING
 
     def mark_serviced(self, completed_at: float, result: Any = None) -> None:
         """Record successful completion."""

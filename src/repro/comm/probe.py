@@ -12,13 +12,16 @@ returns the device's current physical status for cost estimation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
 
 from repro.errors import CommunicationError, ConnectionTimeoutError, DeviceError
 from repro.devices.base import Device
 from repro.network.message import Message
 from repro.network.transport import Transport
 from repro.sim import Environment
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.devices.health import DeviceHealthTracker
 
 #: System-provided probe TIMEOUT per device type, in seconds. Cameras
 #: answer over the LAN quickly; motes may need radio retries; phones go
@@ -42,7 +45,15 @@ class ProbeResult:
     #: Physical-status snapshot when available, for the cost model.
     status: Dict[str, float] = field(default_factory=dict)
     round_trip_seconds: float = 0.0
+    #: On failure: ``"<phase>: <detail>"`` where phase is the exchange
+    #: step that broke — ``connect``, ``ping`` or ``status``.
     error: str = ""
+
+    @property
+    def failed_phase(self) -> str:
+        """The exchange phase that failed (empty when available)."""
+        phase, separator, _ = self.error.partition(":")
+        return phase if separator else ""
 
 
 class Prober:
@@ -60,10 +71,18 @@ class Prober:
         #: Running counters for observability.
         self.probes_sent = 0
         self.probes_failed = 0
+        #: Optional circuit-breaker sink: every probe outcome is
+        #: reported here so repeated misses quarantine the device.
+        self.health: Optional["DeviceHealthTracker"] = None
 
     def timeout_for(self, device: Device) -> float:
         """The TIMEOUT that applies to this device's type."""
         return self.timeouts.get(device.device_type, FALLBACK_TIMEOUT)
+
+    def reset_stats(self) -> None:
+        """Zero the probe counters, for per-batch/per-run reporting."""
+        self.probes_sent = 0
+        self.probes_failed = 0
 
     def probe(self, device: Device) -> Generator[Any, Any, ProbeResult]:
         """Check one candidate's availability and fetch its status.
@@ -77,13 +96,16 @@ class Prober:
         timeout = self.timeout_for(device)
         started = self.env.now
         self.probes_sent += 1
+        phase = "connect"
         try:
             connection = yield from self.transport.connect(device, timeout)
             try:
+                phase = "ping"
                 ping = yield from connection.request(Message(
                     kind="ping", device_id=device.device_id), timeout)
                 if not ping.ok:
                     raise CommunicationError(f"ping failed: {ping.error}")
+                phase = "status"
                 status = yield from connection.request(Message(
                     kind="status", device_id=device.device_id), timeout)
                 if not status.ok:
@@ -92,12 +114,17 @@ class Prober:
                 connection.close()
         except (ConnectionTimeoutError, CommunicationError, DeviceError) as exc:
             self.probes_failed += 1
+            if self.health is not None:
+                self.health.record_failure(device.device_id,
+                                           reason=f"probe {phase}")
             return ProbeResult(
                 device_id=device.device_id,
                 available=False,
                 round_trip_seconds=self.env.now - started,
-                error=str(exc),
+                error=f"{phase}: {exc}",
             )
+        if self.health is not None:
+            self.health.record_success(device.device_id)
         return ProbeResult(
             device_id=device.device_id,
             available=True,

@@ -2,12 +2,75 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import AortaError
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.devices.health import HealthPolicy
+
 #: Scheduler names accepted by EngineConfig.scheduler.
 SCHEDULER_NAMES = ("LERFA+SRFE", "SRFAE", "LS", "SA", "RANDOM")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the dispatcher reacts to transient execution failures.
+
+    The default policy is the pre-fault-tolerance behaviour: one attempt
+    per assignment, no failover — a failed request is final. Enabling
+    retries makes the dispatcher re-run a transiently failed action on
+    its assigned device after an exponential backoff; enabling failover
+    makes a request whose device failed re-enter the next batch with
+    that device removed from its candidate set, so the scheduler
+    reassigns it to a surviving candidate.
+    """
+
+    #: Execution attempts per device assignment (1 = no retries).
+    max_attempts: int = 1
+    #: First-retry backoff, in virtual seconds.
+    backoff_base: float = 0.5
+    #: Multiplier applied to the backoff on each further retry.
+    backoff_factor: float = 2.0
+    #: Ceiling on any single backoff wait.
+    backoff_max: float = 30.0
+    #: Backoff randomization, as a fraction of the nominal wait (0.1 =
+    #: +/-10%). Drawn from the dispatcher's named sim RNG stream, so
+    #: runs are exactly repeatable.
+    jitter: float = 0.1
+    #: Re-dispatch a request to surviving candidates when its device
+    #: fails (the failed device is removed from the candidate set).
+    failover: bool = False
+    #: Total times one request may enter a batch (1 = never re-enters).
+    max_dispatches: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise AortaError("retry max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise AortaError("retry backoff must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise AortaError("retry backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise AortaError("retry jitter must be in [0, 1)")
+        if self.max_dispatches < 1:
+            raise AortaError("retry max_dispatches must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault-tolerance behaviour is switched on."""
+        return self.max_attempts > 1 or self.failover
+
+    def backoff_seconds(self, attempt: int, rng: random.Random) -> float:
+        """Wait before retry number ``attempt`` (1-based), jittered."""
+        nominal = min(
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+            self.backoff_max)
+        if self.jitter:
+            nominal *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return nominal
 
 
 @dataclass
@@ -36,6 +99,16 @@ class EngineConfig:
     scheduler: str = "SRFAE"
     #: Seed for the scheduler's randomness.
     scheduler_seed: int = 0
+    #: Reaction to transient execution failures (default: none, the
+    #: pre-fault-tolerance behaviour).
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Per-device circuit-breaker policy; ``None`` disables device
+    #: health tracking entirely (no quarantine, no probation probes).
+    health: Optional["HealthPolicy"] = None
+    #: Lock lease in virtual seconds: a device lock still held this long
+    #: after acquisition is forcibly recovered so FIFO waiters proceed
+    #: (see DeviceLockManager.recover). ``None`` disables leases.
+    lock_lease_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.poll_interval <= 0:
@@ -47,8 +120,16 @@ class EngineConfig:
                 f"unknown scheduler {self.scheduler!r}; expected one of "
                 f"{SCHEDULER_NAMES}"
             )
+        if self.lock_lease_seconds is not None \
+                and self.lock_lease_seconds <= 0:
+            raise AortaError("lock_lease_seconds must be positive")
 
     @property
     def synchronization(self) -> bool:
         """Whether both Section 4 mechanisms are active."""
         return self.locking and self.probing
+
+    @property
+    def fault_tolerance(self) -> bool:
+        """Whether any fault-tolerance mechanism is configured."""
+        return self.retry.enabled or self.health is not None

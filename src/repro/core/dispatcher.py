@@ -10,6 +10,7 @@ per-device executors service their queues under device locks.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
@@ -19,12 +20,14 @@ from repro.errors import (
     CommunicationError,
     DeviceError,
     QueryError,
+    is_transient,
 )
 from repro.actions.action import ActionDefinition
 from repro.actions.request import ActionRequest, RequestState
 from repro.comm.layer import CommunicationLayer
 from repro.cost.model import CostModel
 from repro.devices.base import Device
+from repro.devices.health import DeviceHealthTracker
 from repro.plan.action_op import SharedActionOperator
 from repro.scheduling import (
     LerfaSrfeScheduler,
@@ -38,6 +41,7 @@ from repro.scheduling import (
     SrfaeScheduler,
 )
 from repro.sim import Environment, Event
+from repro.sim.rng import derive_seed
 from repro.sync.locks import DeviceLockManager, LockToken
 from repro.core.config import EngineConfig
 
@@ -109,6 +113,16 @@ class DispatchReport:
     #: Hit/miss counters of the scheduler's memoizing cost oracle for
     #: this batch (None when caching was off or nothing was scheduled).
     cache_stats: Optional[Dict[str, float]] = None
+    #: Fault-tolerance accounting (all zero with the default policy).
+    #: Execution attempts made for this batch's requests.
+    attempts: int = 0
+    #: Same-device retries after transient failures.
+    retries: int = 0
+    #: Requests re-queued for failover re-dispatch in a later batch
+    #: (alive, so counted in neither ``serviced`` nor ``failed``).
+    failed_over: int = 0
+    #: Candidate devices excluded up front by an open circuit breaker.
+    quarantined_skipped: int = 0
 
     @property
     def makespan_seconds(self) -> float:
@@ -128,6 +142,7 @@ class Dispatcher:
         config: EngineConfig,
         scheduler: Optional[Scheduler] = None,
         tracer: Optional["EngineTracer"] = None,
+        health: Optional[DeviceHealthTracker] = None,
     ) -> None:
         from repro.core.tracing import EngineTracer
         self.env = env
@@ -135,6 +150,8 @@ class Dispatcher:
         self.cost_model = cost_model
         self.locks = locks
         self.config = config
+        #: Per-device circuit breakers (None = health tracking off).
+        self.health = health
         # Note: an empty tracer is falsy (it has __len__), so test
         # identity, not truthiness.
         self.tracer = tracer if tracer is not None else EngineTracer()
@@ -145,6 +162,10 @@ class Dispatcher:
         self._operators: Dict[str, SharedActionOperator] = {}
         self._wakeup: Optional[Event] = None
         self._running = False
+        #: Deterministic jitter stream for retry backoff, derived from
+        #: the engine seed so fault-tolerant runs replay exactly.
+        self._retry_rng = random.Random(
+            derive_seed(config.scheduler_seed, "dispatcher:retry-jitter"))
         #: All requests that went through dispatch, in completion order.
         self.completed: List[ActionRequest] = []
         self.reports: List[DispatchReport] = []
@@ -152,6 +173,10 @@ class Dispatcher:
         #: rescanning `completed` on every call.
         self.serviced_total = 0
         self.failed_total = 0
+        #: Fault-tolerance counters (all stay zero with retries off).
+        self.attempts_total = 0
+        self.retries_total = 0
+        self.failovers_total = 0
 
     # ------------------------------------------------------------------
     # Shared action operators
@@ -213,7 +238,22 @@ class Dispatcher:
         self, action: ActionDefinition, batch: List[ActionRequest]
     ) -> Generator[Any, Any, DispatchReport]:
         batch_started = self.env.now
+        policy = self.config.retry
+        if policy.failover:
+            # Failover re-dispatch re-enters through the shared
+            # operator, so make sure it exists even for direct callers.
+            self.operator_for(action)
         devices = self._candidate_devices(batch)
+
+        # Quarantine gate: a device with an open circuit breaker is
+        # excluded before probing — it gets no traffic at all until its
+        # backoff window expires and a probation probe readmits it.
+        quarantined_skipped = 0
+        if self.health is not None:
+            for device_id in list(devices):
+                if not self.health.allow_candidate(device_id):
+                    del devices[device_id]
+                    quarantined_skipped += 1
 
         statuses: Dict[str, Dict[str, float]] = {}
         available: set[str] = set()
@@ -238,26 +278,44 @@ class Dispatcher:
                 statuses[device_id] = device.physical_status()
 
         schedulable: List[ActionRequest] = []
+        usable: Dict[str, Tuple[str, ...]] = {}
         unschedulable = 0
+        failed_over = 0
         for request in batch:
-            request.candidates = tuple(
+            request.dispatches += 1
+            candidates = tuple(
                 device_id for device_id in request.candidates
                 if device_id in available)
-            if request.candidates:
+            if candidates:
+                if policy.failover:
+                    # Keep the full candidate set on the request: a
+                    # device that is merely down this batch may service
+                    # the request after a failover re-dispatch.
+                    usable[request.request_id] = candidates
+                else:
+                    request.candidates = candidates
                 schedulable.append(request)
+            elif self._requeue_for_failover(request, None,
+                                            "no available candidate"):
+                failed_over += 1
             else:
                 request.mark_failed(self.env.now, "no available candidate")
                 self.completed.append(request)
                 self.failed_total += 1
                 unschedulable += 1
 
+        attempts_before = self.attempts_total
+        retries_before = self.retries_total
         scheduling_seconds = 0.0
         serviced = failed = 0
         if schedulable:
             problem = Problem(
                 requests=tuple(
                     SchedRequest(request_id=r.request_id,
-                                 candidates=r.candidates, payload=r)
+                                 candidates=(usable[r.request_id]
+                                             if policy.failover
+                                             else r.candidates),
+                                 payload=r)
                     for r in schedulable),
                 device_ids=tuple(device_id for device_id in devices
                                  if device_id in available),
@@ -295,6 +353,10 @@ class Dispatcher:
             for request in schedulable:
                 if request.state is RequestState.SERVICED:
                     serviced += 1
+                elif request.state is RequestState.PENDING:
+                    # Requeued for failover: alive, completes later.
+                    failed_over += 1
+                    continue
                 else:
                     failed += 1
                 self.completed.append(request)
@@ -313,6 +375,10 @@ class Dispatcher:
             batch_finished_at=self.env.now,
             cache_stats=(self.scheduler.last_cache_stats
                          if schedulable else None),
+            attempts=self.attempts_total - attempts_before,
+            retries=self.retries_total - retries_before,
+            failed_over=failed_over,
+            quarantined_skipped=quarantined_skipped,
         )
         self.reports.append(report)
         self.tracer.record(
@@ -339,13 +405,35 @@ class Dispatcher:
         queue: List[ActionRequest],
     ) -> Generator[Any, Any, None]:
         """Service one device's queue in order, under its lock."""
-        for request in queue:
+        lease = self.config.lock_lease_seconds
+        for index, request in enumerate(queue):
             token = LockToken(request.request_id)
-            yield from self.locks.acquire(device.device_id, token)
+            yield from self.locks.acquire(device.device_id, token,
+                                          lease_seconds=lease)
             try:
                 yield from self._execute_one(action, device, request)
             finally:
                 self.locks.release(device.device_id, token)
+            if self.config.retry.failover and not device.reachable:
+                # The device died: drain the rest of its queue back to
+                # the dispatcher for reassignment instead of grinding
+                # through attempts that are doomed to the same fate.
+                for waiting in queue[index + 1:]:
+                    if not self._requeue_for_failover(
+                            waiting, device.device_id,
+                            "queue drained after device failure"):
+                        waiting.mark_failed(
+                            self.env.now,
+                            f"device {device.device_id!r} failed while "
+                            f"request was queued")
+                        self.tracer.record(
+                            self.env.now, "request_failed",
+                            request=waiting.request_id,
+                            action=waiting.action_name,
+                            device=device.device_id,
+                            query=waiting.query_id,
+                            reason=waiting.failure_reason)
+                break
 
     def _service_unlocked(
         self, action: ActionDefinition, device: Device,
@@ -357,17 +445,89 @@ class Dispatcher:
         self, action: ActionDefinition, device: Device,
         request: ActionRequest,
     ) -> Generator[Any, Any, None]:
-        try:
-            result = yield from action.execute(device, request.arguments)
-        except ActionFailedError as exc:
-            request.mark_failed(self.env.now, exc.reason)
-        except (DeviceError, CommunicationError, QueryError) as exc:
-            request.mark_failed(self.env.now, str(exc))
-        else:
-            request.mark_serviced(self.env.now, result)
+        """Run one request, retrying transient failures per the policy.
+
+        With the default policy this is a single attempt and behaves
+        exactly like the pre-fault-tolerance dispatcher. On a transient
+        failure with attempts left, the request retries on its assigned
+        device after an exponential, deterministically jittered backoff;
+        once attempts are exhausted, failover (if enabled) re-queues the
+        request for the next batch minus the failed device.
+        """
+        policy = self.config.retry
+        attempt = 0
+        while True:
+            attempt += 1
+            request.attempts += 1
+            self.attempts_total += 1
+            try:
+                result = yield from action.execute(device,
+                                                   request.arguments)
+            except ActionFailedError as exc:
+                transient = is_transient(exc)
+                mark_reason = exc.reason
+            except (DeviceError, CommunicationError, QueryError) as exc:
+                transient = is_transient(exc)
+                mark_reason = str(exc)
+            else:
+                if self.health is not None:
+                    self.health.record_success(device.device_id)
+                request.mark_serviced(self.env.now, result)
+                break
+            if transient and self.health is not None:
+                self.health.record_failure(device.device_id,
+                                           reason=mark_reason)
+            if transient and attempt < policy.max_attempts:
+                self.retries_total += 1
+                backoff = policy.backoff_seconds(attempt, self._retry_rng)
+                self.tracer.record(
+                    self.env.now, "request_retry",
+                    request=request.request_id, device=device.device_id,
+                    attempt=attempt, backoff=backoff, reason=mark_reason)
+                if backoff > 0:
+                    yield self.env.timeout(backoff)
+                continue
+            if transient and self._requeue_for_failover(
+                    request, device.device_id, mark_reason):
+                return
+            request.mark_failed(self.env.now, mark_reason)
+            break
         kind = ("request_serviced" if request.state is RequestState.SERVICED
                 else "request_failed")
         self.tracer.record(
             self.env.now, kind, request=request.request_id,
             action=request.action_name, device=device.device_id,
             query=request.query_id, reason=request.failure_reason)
+
+    def _requeue_for_failover(
+        self, request: ActionRequest, failed_device: Optional[str],
+        reason: str,
+    ) -> bool:
+        """Re-enter ``request`` into its operator for the next batch.
+
+        The failed device is blacklisted from the candidate set so the
+        scheduler reassigns the request to a surviving candidate.
+        Returns False (caller must fail the request) when failover is
+        off, the dispatch cap is reached, or no candidate would remain.
+        """
+        policy = self.config.retry
+        if not policy.failover:
+            return False
+        if request.dispatches >= policy.max_dispatches:
+            return False
+        surviving = tuple(device_id for device_id in request.candidates
+                          if device_id != failed_device)
+        if not surviving:
+            return False
+        operator = self._operators.get(request.action_name)
+        if operator is None:  # pragma: no cover - defensive
+            return False
+        request.mark_requeued(failed_device)
+        operator.submit(request)
+        self.failovers_total += 1
+        self.tracer.record(
+            self.env.now, "request_failed_over",
+            request=request.request_id, failed_device=failed_device,
+            surviving=len(surviving), dispatches=request.dispatches,
+            reason=reason)
+        return True

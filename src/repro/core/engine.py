@@ -18,6 +18,7 @@ from repro.comm.layer import CommunicationLayer
 from repro.cost.model import CostModel, QuantityResolver
 from repro.devices.base import Device
 from repro.devices.camera import PanTiltZoomCamera
+from repro.devices.health import DeviceHealthTracker
 from repro.geometry import Point
 from repro.network.link import LinkModel
 from repro.plan.planner import Planner, SnapshotPlan
@@ -86,9 +87,18 @@ class AortaEngine:
         from repro.core.tracing import EngineTracer
         self.tracer = EngineTracer()
         self.locks = DeviceLockManager(self.env)
+        #: Per-device circuit breakers; None when health tracking is
+        #: not configured. The prober feeds it probe outcomes and the
+        #: dispatcher feeds it execution outcomes.
+        self.health: Optional[DeviceHealthTracker] = None
+        if self.config.health is not None:
+            self.health = DeviceHealthTracker(self.env, self.config.health,
+                                              tracer=self.tracer)
+            self.comm.prober.health = self.health
         self.dispatcher = Dispatcher(self.env, self.comm, self.cost_model,
                                      self.locks, self.config,
-                                     tracer=self.tracer)
+                                     tracer=self.tracer,
+                                     health=self.health)
         self.planner = Planner(self.schema, self.actions, self.functions,
                                self.comm)
         self.continuous = ContinuousQueryExecutor(
@@ -340,7 +350,7 @@ class AortaEngine:
         """
         serviced = self.dispatcher.serviced_total
         failed = self.dispatcher.failed_total
-        return {
+        stats = {
             "virtual_time": self.env.now,
             "devices": len(self.comm.registry),
             "queries": len(self.continuous.queries),
@@ -352,4 +362,15 @@ class AortaEngine:
             "probes_failed": self.comm.prober.probes_failed,
             "lock_acquisitions": self.locks.acquisitions,
             "lock_contended": self.locks.contended_acquisitions,
+            "lock_recoveries": self.locks.recoveries,
+            "execution_attempts": self.dispatcher.attempts_total,
+            "retries": self.dispatcher.retries_total,
+            "failovers": self.dispatcher.failovers_total,
         }
+        if self.health is not None:
+            health = self.health.stats()
+            stats["devices_quarantined"] = health["quarantines"]
+            stats["devices_readmitted"] = health["recoveries"]
+            stats["currently_quarantined"] = health["currently_quarantined"]
+            stats["mean_recovery_seconds"] = health["mean_recovery_seconds"]
+        return stats

@@ -21,6 +21,12 @@ TRACE_KINDS = (
     "probe_failed",
     "query_registered",
     "query_dropped",
+    # Fault-tolerance layer: retries, failover re-dispatch, quarantine.
+    "request_retry",
+    "request_failed_over",
+    "device_quarantined",
+    "device_probation",
+    "device_readmitted",
 )
 
 

@@ -8,6 +8,11 @@ interval the paper measured on the real cameras (Section 6.3).
 """
 
 from repro.devices.base import Device, DeviceState, OperationOutcome
+from repro.devices.health import (
+    BreakerState,
+    DeviceHealthTracker,
+    HealthPolicy,
+)
 from repro.devices.camera import (
     CameraCalibration,
     HeadPosition,
@@ -19,11 +24,14 @@ from repro.devices.registry import DeviceRegistry
 from repro.devices.sensor import SensorMote, SensorStimulus
 
 __all__ = [
+    "BreakerState",
     "CameraCalibration",
     "Device",
+    "DeviceHealthTracker",
     "DeviceRegistry",
     "DeviceState",
     "HeadPosition",
+    "HealthPolicy",
     "MobilePhone",
     "OperationOutcome",
     "PanTiltZoomCamera",

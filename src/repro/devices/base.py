@@ -6,7 +6,7 @@ import enum
 from dataclasses import dataclass
 from typing import Any, Dict, Generator
 
-from repro.errors import DeviceError
+from repro.errors import DeviceDownError, DeviceError
 from repro.geometry import Point
 from repro.sim import Environment
 
@@ -153,7 +153,9 @@ class Device:
         Dispatches to a method named ``op_<operation>``.
         """
         if not self.online:
-            raise DeviceError(
+            # Transient by definition: the device may come back (outage
+            # end, repair), so the retry policy is allowed to try again.
+            raise DeviceDownError(
                 f"{self.device_type} {self.device_id!r} is {self.state.value}"
             )
         handler = getattr(self, f"op_{operation}", None)

@@ -23,7 +23,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Generator, List, Optional
 
-from repro.errors import ActionFailedError, DeviceError
+from repro.errors import ActionFailedError, DeviceDownError, DeviceError
 from repro.geometry import Point, ViewSector, angle_difference, normalize_angle
 from repro.devices.base import Device
 from repro.sim import Environment
@@ -370,7 +370,8 @@ class PanTiltZoomCamera(Device):
         :mod:`repro.sync.locks` to get the paper's synchronized result.
         """
         if not self.online:
-            raise DeviceError(
+            # Transient: the camera may come back (outage end, repair).
+            raise DeviceDownError(
                 f"camera {self.device_id} is {self.state.value}"
             )
         if not self.covers(target):

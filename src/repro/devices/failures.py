@@ -48,6 +48,11 @@ class FailureInjector:
                 f"outage for {spec.device_id!r} scheduled on device "
                 f"{device.device_id!r}"
             )
+        if spec.start < self.env.now:
+            raise DeviceError(
+                f"outage for {spec.device_id!r} starts at {spec.start} "
+                f"but the clock is already at {self.env.now}"
+            )
         self.scheduled.append(spec)
         self.env.process(self._run_outage(device, spec))
 
@@ -105,19 +110,36 @@ class FailureInjector:
         """Poisson-like random outages across ``devices``.
 
         Returns the number of episodes scheduled. Deterministic given
-        an explicit ``rng``.
+        an explicit ``rng`` — and per-device deterministic: every
+        device's episodes are drawn from its own substream derived from
+        the device ID, so adding or removing a device (or one drawing
+        zero episodes) never perturbs any other device's schedule.
+        Episodes are clamped so ``start + duration`` never exceeds the
+        horizon: every injected outage also recovers inside it.
         """
         if horizon <= 0:
             raise DeviceError("horizon must be positive")
+        from repro.sim.rng import derive_seed
         rng = rng or random.Random(0)
+        base_seed = rng.getrandbits(64)
+        end_limit = self.env.now + horizon
         count = 0
         for device in devices:
+            device_rng = random.Random(
+                derive_seed(base_seed, device.device_id))
             expected = outage_rate_per_device * horizon
-            episodes = int(expected) + (1 if rng.random() < expected % 1 else 0)
+            episodes = int(expected) + (
+                1 if device_rng.random() < expected % 1 else 0)
+            if not episodes:
+                continue
             for _ in range(episodes):
-                start = self.env.now + rng.uniform(0, horizon)
-                duration = max(rng.expovariate(1.0 / mean_duration), 1e-3)
-                kind = "crash" if rng.random() < 0.2 else "offline"
+                start = self.env.now + device_rng.uniform(0, horizon)
+                duration = max(
+                    device_rng.expovariate(1.0 / mean_duration), 1e-3)
+                if start >= end_limit:
+                    continue
+                duration = min(duration, end_limit - start)
+                kind = "crash" if device_rng.random() < 0.2 else "offline"
                 self.schedule_outage(device, OutageSpec(
                     device_id=device.device_id, start=start,
                     duration=duration, kind=kind,

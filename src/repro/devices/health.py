@@ -1,0 +1,211 @@
+"""Per-device health tracking: a circuit breaker over probe/action outcomes.
+
+Pervasive devices "are intrinsically unreliable" (Section 4), and a
+flapping device is worse than a dead one: every batch re-probes it,
+re-trusts it, assigns it work, and watches the work fail. The health
+tracker quarantines such devices with a standard circuit breaker:
+
+* **CLOSED** — healthy; failures are counted, successes reset the count.
+* **OPEN** — quarantined after ``failure_threshold`` consecutive
+  failures; the device is excluded from candidate sets (not even
+  probed) for a backoff window that doubles on each relapse.
+* **HALF_OPEN** — the window expired; the device is readmitted on
+  probation and the next probe decides: success closes the breaker,
+  failure re-opens it with a longer window.
+
+The tracker is passive — it never schedules simulation events; state
+transitions happen lazily when the dispatcher asks whether a device may
+be a candidate. That keeps it free when unused and deterministic always.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.errors import DeviceError
+from repro.sim import Environment
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.tracing import EngineTracer
+
+
+class BreakerState(enum.Enum):
+    """Circuit-breaker state of one device."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Tunables of the per-device circuit breaker."""
+
+    #: Consecutive failures (probe or action) that open the breaker.
+    failure_threshold: int = 3
+    #: First quarantine window, in virtual seconds.
+    quarantine_seconds: float = 30.0
+    #: Window multiplier on each relapse (failure while on probation).
+    backoff_factor: float = 2.0
+    #: Ceiling on the quarantine window.
+    quarantine_max: float = 300.0
+    #: Probation successes required to close a HALF_OPEN breaker.
+    probation_successes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise DeviceError("failure_threshold must be >= 1")
+        if self.quarantine_seconds <= 0 or self.quarantine_max <= 0:
+            raise DeviceError("quarantine windows must be positive")
+        if self.backoff_factor < 1.0:
+            raise DeviceError("backoff_factor must be >= 1")
+        if self.probation_successes < 1:
+            raise DeviceError("probation_successes must be >= 1")
+
+
+@dataclass
+class _DeviceHealth:
+    """Mutable breaker bookkeeping for one device."""
+
+    state: BreakerState = BreakerState.CLOSED
+    consecutive_failures: int = 0
+    #: Virtual time the current quarantine window expires (OPEN only).
+    open_until: float = 0.0
+    #: Current window length; grows by ``backoff_factor`` per relapse.
+    window: float = 0.0
+    #: Successes collected while HALF_OPEN.
+    probation_successes: int = 0
+    #: When the device first entered the current quarantine episode,
+    #: for time-to-recovery accounting.
+    quarantined_at: float = 0.0
+    quarantines: int = 0
+    recoveries: int = 0
+
+
+class DeviceHealthTracker:
+    """Circuit breakers for every device the engine has observed."""
+
+    def __init__(
+        self,
+        env: Environment,
+        policy: Optional[HealthPolicy] = None,
+        tracer: Optional["EngineTracer"] = None,
+    ) -> None:
+        self.env = env
+        self.policy = policy or HealthPolicy()
+        self.tracer = tracer
+        self._devices: Dict[str, _DeviceHealth] = {}
+        #: Lifetime counters for statistics().
+        self.quarantines_total = 0
+        self.recoveries_total = 0
+        #: Sum of quarantine-entry-to-readmission times, for the mean.
+        self.recovery_seconds_total = 0.0
+
+    def _entry(self, device_id: str) -> _DeviceHealth:
+        if device_id not in self._devices:
+            self._devices[device_id] = _DeviceHealth()
+        return self._devices[device_id]
+
+    def _trace(self, kind: str, **fields: object) -> None:
+        if self.tracer is not None:
+            self.tracer.record(self.env.now, kind, **fields)
+
+    # ------------------------------------------------------------------
+    # Outcome reporting (from the prober and the dispatcher)
+    # ------------------------------------------------------------------
+    def record_success(self, device_id: str) -> None:
+        """A probe answered or an action serviced on this device."""
+        entry = self._entry(device_id)
+        if entry.state is BreakerState.HALF_OPEN:
+            entry.probation_successes += 1
+            if entry.probation_successes >= self.policy.probation_successes:
+                entry.state = BreakerState.CLOSED
+                entry.consecutive_failures = 0
+                entry.window = 0.0
+                entry.recoveries += 1
+                self.recoveries_total += 1
+                self.recovery_seconds_total += (
+                    self.env.now - entry.quarantined_at)
+                self._trace("device_readmitted", device=device_id,
+                            recovery_seconds=self.env.now
+                            - entry.quarantined_at)
+        else:
+            entry.consecutive_failures = 0
+
+    def record_failure(self, device_id: str, reason: str = "") -> None:
+        """A probe missed or an action failed on this device."""
+        entry = self._entry(device_id)
+        if entry.state is BreakerState.HALF_OPEN:
+            # Relapse on probation: back to quarantine, longer window.
+            self._open(device_id, entry, reason, relapse=True)
+            return
+        entry.consecutive_failures += 1
+        if entry.state is BreakerState.CLOSED \
+                and entry.consecutive_failures \
+                >= self.policy.failure_threshold:
+            entry.quarantined_at = self.env.now
+            self._open(device_id, entry, reason, relapse=False)
+
+    def _open(self, device_id: str, entry: _DeviceHealth, reason: str,
+              *, relapse: bool) -> None:
+        if entry.window:
+            entry.window = min(entry.window * self.policy.backoff_factor,
+                               self.policy.quarantine_max)
+        else:
+            entry.window = min(self.policy.quarantine_seconds,
+                               self.policy.quarantine_max)
+        entry.state = BreakerState.OPEN
+        entry.open_until = self.env.now + entry.window
+        entry.probation_successes = 0
+        entry.quarantines += 1
+        self.quarantines_total += 1
+        self._trace("device_quarantined", device=device_id,
+                    window=entry.window, relapse=relapse, reason=reason)
+
+    # ------------------------------------------------------------------
+    # Candidate gating (from the dispatcher)
+    # ------------------------------------------------------------------
+    def allow_candidate(self, device_id: str) -> bool:
+        """Whether the device may enter a candidate set right now.
+
+        Lazily transitions OPEN breakers whose window has expired to
+        HALF_OPEN — the caller's next probe is the probation probe.
+        """
+        entry = self._devices.get(device_id)
+        if entry is None or entry.state is BreakerState.CLOSED:
+            return True
+        if entry.state is BreakerState.OPEN:
+            if self.env.now < entry.open_until:
+                return False
+            entry.state = BreakerState.HALF_OPEN
+            entry.probation_successes = 0
+            self._trace("device_probation", device=device_id)
+        return True
+
+    # ------------------------------------------------------------------
+    # Read-only observability
+    # ------------------------------------------------------------------
+    def state_of(self, device_id: str) -> BreakerState:
+        """The breaker state of one device (CLOSED if never seen)."""
+        entry = self._devices.get(device_id)
+        return entry.state if entry is not None else BreakerState.CLOSED
+
+    def quarantined_ids(self) -> List[str]:
+        """Devices whose breaker is OPEN with an unexpired window."""
+        return sorted(
+            device_id for device_id, entry in self._devices.items()
+            if entry.state is BreakerState.OPEN
+            and self.env.now < entry.open_until)
+
+    def stats(self) -> Dict[str, float]:
+        """Lifetime counters, for engine statistics and benchmarks."""
+        return {
+            "quarantines": self.quarantines_total,
+            "recoveries": self.recoveries_total,
+            "currently_quarantined": len(self.quarantined_ids()),
+            "mean_recovery_seconds": (
+                self.recovery_seconds_total / self.recoveries_total
+                if self.recoveries_total else 0.0),
+        }

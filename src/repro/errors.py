@@ -3,13 +3,51 @@
 Every error raised by :mod:`repro` derives from :class:`AortaError`, so
 applications can catch framework failures with a single ``except`` clause
 while still being able to discriminate the subsystem that failed.
+
+Errors are additionally classified as *transient* or *permanent* for the
+fault-tolerance layer: a transient failure (timeout, coverage dropout,
+lock contention, a device mid-outage) may heal on its own, so retrying —
+on the same device or a surviving candidate — is worthwhile; a permanent
+failure (bad request, unknown action, missing capability) will fail
+identically on every attempt and must not be retried. Use
+:func:`is_transient` to classify a caught exception.
 """
 
 from __future__ import annotations
 
+#: ActionFailedError reasons that indicate a healable condition. An
+#: out-of-set reason means retrying the identical request on the
+#: identical device is not expected to fix it: ``blurred`` and
+#: ``wrong_position`` mean the action ran but produced a bad result,
+#: and a camera's ``no_coverage`` is geometric — a fixed camera never
+#: grows a field of view. (A *phone's* carrier-coverage dropout is the
+#: transient kind, and surfaces as a :class:`CommunicationError`.)
+TRANSIENT_ACTION_REASONS = frozenset({
+    "timeout",
+    "device_crash",
+    "device_offline",
+    "lock_contention",
+})
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether ``error`` describes a failure that may heal on retry.
+
+    Reason-carrying :class:`ActionFailedError` instances are classified
+    by reason; every other framework error carries a class-level
+    ``transient`` flag. Non-Aorta exceptions are never transient.
+    """
+    if isinstance(error, ActionFailedError):
+        return error.reason in TRANSIENT_ACTION_REASONS
+    return isinstance(error, AortaError) and error.transient
+
 
 class AortaError(Exception):
     """Base class for all Aorta framework errors."""
+
+    #: Whether failures of this class are expected to heal on their own
+    #: (see :func:`is_transient`). Permanent unless a subclass says so.
+    transient: bool = False
 
 
 class SimulationError(AortaError):
@@ -23,9 +61,25 @@ class DeviceError(AortaError):
 class DeviceUnavailableError(DeviceError):
     """The device did not respond within its probe TIMEOUT."""
 
+    transient = True
+
+
+class DeviceDownError(DeviceError):
+    """The device is offline or crashed right now, but may recover.
+
+    Raised when an operation reaches a device that is mid-outage —
+    distinct from the permanent :class:`DeviceError` cases (unknown
+    operation, missing capability) precisely so the retry policy can
+    tell them apart.
+    """
+
+    transient = True
+
 
 class DeviceBusyError(DeviceError):
     """An action was submitted to a device that is locked by another action."""
+
+    transient = True
 
 
 class ActionFailedError(DeviceError):
@@ -40,6 +94,8 @@ class ActionFailedError(DeviceError):
 
 class CommunicationError(AortaError):
     """A transport-level failure in the uniform communication layer."""
+
+    transient = True
 
 
 class ConnectionTimeoutError(CommunicationError):

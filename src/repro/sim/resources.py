@@ -38,6 +38,11 @@ class SimLock:
         return self._holder is not None
 
     @property
+    def holder(self) -> Optional[object]:
+        """The token currently holding the lock, or None."""
+        return self._holder
+
+    @property
     def queue_length(self) -> int:
         """Number of processes waiting to acquire."""
         return len(self._waiters)
@@ -73,6 +78,22 @@ class SimLock:
             self._holder = next_token
             grant.succeed(next_token)
             return
+
+    def force_release(self) -> Optional[object]:
+        """Evict the current holder and wake the next FIFO waiter.
+
+        Lease recovery for a holder that died without releasing (a
+        crashed device's executor, Section 4's unreliable endpoints):
+        waiters proceed in order instead of deadlocking. Returns the
+        evicted token, or None if the lock was free.
+        """
+        evicted = self._holder
+        self._holder = None
+        if self._waiters:
+            grant, next_token = self._waiters.popleft()
+            self._holder = next_token
+            grant.succeed(next_token)
+        return evicted
 
     def cancel(self, token: object) -> bool:
         """Withdraw a queued acquire for ``token``. Returns True if found."""

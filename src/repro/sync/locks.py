@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator
+from typing import Any, Dict, Generator, Optional, Set
 
 from repro.errors import SchedulingError
 from repro.sim import Environment, SimLock
@@ -40,6 +40,11 @@ class DeviceLockManager:
         self.acquisitions = 0
         #: Total acquisitions that had to queue behind a holder.
         self.contended_acquisitions = 0
+        #: Total forced releases (lease expiry or explicit recovery).
+        self.recoveries = 0
+        #: Tokens evicted by recovery whose owner has not released yet;
+        #: their eventual release() is a silent no-op, not an error.
+        self._recovered_tokens: Set[LockToken] = set()
 
     def _lock_for(self, device_id: str) -> SimLock:
         if device_id not in self._locks:
@@ -47,15 +52,32 @@ class DeviceLockManager:
         return self._locks[device_id]
 
     def acquire(
-        self, device_id: str, token: LockToken
+        self, device_id: str, token: LockToken,
+        lease_seconds: Optional[float] = None,
     ) -> Generator[Any, Any, LockToken]:
-        """Lock ``device_id`` on behalf of ``token``; waits if busy."""
+        """Lock ``device_id`` on behalf of ``token``; waits if busy.
+
+        With ``lease_seconds``, the grant is a lease: if the token still
+        holds the lock that long after acquisition — its executor died
+        mid-action on a crashed device — the lock is forcibly recovered
+        so FIFO waiters proceed instead of deadlocking.
+        """
         lock = self._lock_for(device_id)
         if lock.locked:
             self.contended_acquisitions += 1
         self.acquisitions += 1
         yield lock.acquire(token)
+        if lease_seconds is not None:
+            self.env.process(self._lease_watchdog(device_id, token,
+                                                  lease_seconds))
         return token
+
+    def _lease_watchdog(
+        self, device_id: str, token: LockToken, lease_seconds: float
+    ) -> Generator[Any, Any, None]:
+        yield self.env.timeout(lease_seconds)
+        if self._lock_for(device_id).holder is token:
+            self.recover(device_id)
 
     def try_acquire(self, device_id: str, token: LockToken) -> bool:
         """Non-blocking acquire: True and locked, or False untouched.
@@ -74,8 +96,31 @@ class DeviceLockManager:
         return True
 
     def release(self, device_id: str, token: LockToken) -> None:
-        """Unlock ``device_id``; the next FIFO waiter proceeds."""
+        """Unlock ``device_id``; the next FIFO waiter proceeds.
+
+        Releasing a token whose lock was already recovered (lease
+        expiry) is a no-op: the executor outlived its lease but did
+        eventually finish, and the lock has moved on without it.
+        """
+        if token in self._recovered_tokens:
+            self._recovered_tokens.discard(token)
+            return
         self._lock_for(device_id).release(token)
+
+    def recover(self, device_id: str) -> Optional[LockToken]:
+        """Forcibly release a dead holder's lock; waiters proceed FIFO.
+
+        The fault-tolerance path for a device whose executor crashed
+        while holding the lock: rather than deadlocking every queued
+        action, the lease recovery evicts the holder and hands the lock
+        to the next waiter. Returns the evicted token (None if the lock
+        was free).
+        """
+        evicted = self._lock_for(device_id).force_release()
+        if evicted is not None:
+            self.recoveries += 1
+            self._recovered_tokens.add(evicted)
+        return evicted
 
     def cancel(self, device_id: str, token: LockToken) -> bool:
         """Withdraw a queued acquire (e.g. the request was rescheduled)."""

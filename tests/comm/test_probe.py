@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.devices.health import BreakerState, DeviceHealthTracker, HealthPolicy
+from repro.network.message import Message, Response
 from tests.comm.conftest import run
 
 
@@ -54,3 +56,118 @@ def test_probe_returns_status_for_cost_model(env, layer, lab):
     result = run(env, layer.probe(lab["mote2"]))
     assert result.available
     assert result.status["hop_depth"] == 2.0
+
+
+# ----------------------------------------------------------------------
+# Failing-phase reporting
+# ----------------------------------------------------------------------
+def test_failed_probe_records_connect_phase(env, layer, lab):
+    lab["cam1"].go_offline()
+    result = run(env, layer.probe(lab["cam1"]))
+    assert not result.available
+    assert result.failed_phase == "connect"
+    assert result.error.startswith("connect:")
+
+
+def test_successful_probe_has_no_failed_phase(env, layer, lab):
+    result = run(env, layer.probe(lab["cam1"]))
+    assert result.available
+    assert result.failed_phase == ""
+
+
+class _FlakyStatusConnection:
+    """Stub connection whose status exchange fails after a clean ping."""
+
+    def __init__(self, env):
+        self.env = env
+
+    def request(self, message: Message, timeout):
+        yield self.env.timeout(0.01)
+        if message.kind == "status":
+            return Response(device_id=message.device_id, ok=False,
+                            error="status register corrupt")
+        return Response(device_id=message.device_id, ok=True)
+
+    def close(self):
+        pass
+
+
+def test_probe_records_later_phase_failures(env, layer, lab):
+    class _FlakyTransport:
+        def connect(self, device, timeout):
+            yield env.timeout(0.01)
+            return _FlakyStatusConnection(env)
+
+    layer.prober.transport = _FlakyTransport()
+    result = run(env, layer.probe(lab["cam1"]))
+    assert not result.available
+    assert result.failed_phase == "status"
+    assert "status register corrupt" in result.error
+
+
+def test_reset_stats_zeroes_probe_counters(env, layer, lab):
+    lab["cam2"].go_offline()
+    run(env, layer.prober.probe_all([lab["cam1"], lab["cam2"]]))
+    assert (layer.prober.probes_sent, layer.prober.probes_failed) == (2, 1)
+    layer.prober.reset_stats()
+    assert (layer.prober.probes_sent, layer.prober.probes_failed) == (0, 0)
+    run(env, layer.probe(lab["cam1"]))
+    assert (layer.prober.probes_sent, layer.prober.probes_failed) == (1, 0)
+
+
+# ----------------------------------------------------------------------
+# probe_all ordering under mixed timeouts
+# ----------------------------------------------------------------------
+def test_probe_all_preserves_input_order_under_mixed_timeouts(
+        env, layer, lab):
+    # phone1 times out after 2.0s, mote1 after 0.5s, cameras answer
+    # fast: completion order differs wildly from input order.
+    lab["phone1"].go_offline()
+    lab["mote1"].go_offline()
+    devices = [lab["phone1"], lab["cam1"], lab["mote1"], lab["cam2"]]
+    results = run(env, layer.prober.probe_all(devices))
+    assert [r.device_id for r in results] \
+        == ["phone1", "cam1", "mote1", "cam2"]
+    assert [r.available for r in results] == [False, True, False, True]
+    # Concurrent: total wall time is the slowest timeout, not the sum.
+    assert env.now == pytest.approx(2.0)
+
+
+# ----------------------------------------------------------------------
+# Phone coverage dropouts
+# ----------------------------------------------------------------------
+def test_phone_out_of_coverage_probes_unavailable(env, layer, lab):
+    phone = lab["phone1"]
+    phone.leave_coverage()
+    result = run(env, layer.probe(phone))
+    # Powered and healthy, but the carrier cannot page it.
+    assert phone.online and not phone.reachable
+    assert not result.available
+    assert result.failed_phase == "connect"
+
+    phone.enter_coverage()
+    result = run(env, layer.probe(phone))
+    assert result.available
+
+
+def test_coverage_dropout_quarantines_then_readmits_phone(env, layer, lab):
+    health = DeviceHealthTracker(
+        env, HealthPolicy(failure_threshold=2, quarantine_seconds=5.0))
+    layer.prober.health = health
+    phone = lab["phone1"]
+    phone.leave_coverage()
+    run(env, layer.probe(phone))
+    run(env, layer.probe(phone))
+    # Two consecutive probe misses: the breaker opens.
+    assert health.state_of("phone1") is BreakerState.OPEN
+    assert not health.allow_candidate("phone1")
+
+    phone.enter_coverage()
+    env.run(until=env.now + 6.0)
+    # Window expired: the phone is allowed back on probation, and the
+    # probation probe succeeds, readmitting it.
+    assert health.allow_candidate("phone1")
+    result = run(env, layer.probe(phone))
+    assert result.available
+    assert health.state_of("phone1") is BreakerState.CLOSED
+    assert health.recoveries_total == 1

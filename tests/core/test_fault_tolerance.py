@@ -1,0 +1,290 @@
+"""Fault-tolerant action execution: retry, failover, quarantine.
+
+These tests exercise the PR-2 fault-tolerance layer end to end: the
+RetryPolicy around action execution in the dispatcher, failover
+re-dispatch through the shared operator, the DeviceHealthTracker gate
+on candidate sets, and the drain of a dead device's queue.
+"""
+
+import pytest
+
+from repro.errors import AortaError
+from repro import EngineConfig, HealthPolicy, Point, RetryPolicy
+from repro.actions.request import ActionRequest, RequestState
+from repro.devices.health import BreakerState
+from tests.core.conftest import build_lab
+
+
+def make_request(engine, target, candidates=("cam1", "cam2")):
+    return ActionRequest(
+        action_name="photo",
+        arguments={"target": target, "directory": "photos"},
+        created_at=engine.env.now,
+        candidates=tuple(candidates),
+    )
+
+
+def drive(engine, requests):
+    """Dispatch a batch, then keep draining failover re-entries."""
+    action = engine.actions.get("photo")
+    reports = []
+
+    def proc(env):
+        report = yield from engine.dispatcher.dispatch_batch(
+            action, requests)
+        reports.append(report)
+        while engine.dispatcher.pending_requests:
+            more = yield from engine.dispatcher.dispatch_pending()
+            reports.extend(more)
+
+    engine.env.process(proc(engine.env))
+    engine.env.run()
+    return reports
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy itself
+# ----------------------------------------------------------------------
+def test_retry_policy_validation():
+    with pytest.raises(AortaError, match="max_attempts"):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(AortaError, match="backoff_factor"):
+        RetryPolicy(backoff_factor=0.5)
+    with pytest.raises(AortaError, match="jitter"):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(AortaError, match="max_dispatches"):
+        RetryPolicy(max_dispatches=0)
+
+
+def test_retry_policy_backoff_shape():
+    import random
+    policy = RetryPolicy(max_attempts=4, backoff_base=1.0,
+                         backoff_factor=2.0, backoff_max=3.0, jitter=0.0)
+    rng = random.Random(0)
+    assert [policy.backoff_seconds(a, rng) for a in (1, 2, 3)] \
+        == [1.0, 2.0, 3.0]  # exponential, capped at backoff_max
+    jittered = RetryPolicy(backoff_base=1.0, jitter=0.25)
+    values = {jittered.backoff_seconds(1, random.Random(s))
+              for s in range(20)}
+    assert len(values) > 1
+    assert all(0.75 <= value <= 1.25 for value in values)
+
+
+def test_default_policy_is_disabled():
+    assert not RetryPolicy().enabled
+    assert not EngineConfig().fault_tolerance
+    assert EngineConfig(
+        retry=RetryPolicy(max_attempts=2)).fault_tolerance
+    assert EngineConfig(health=HealthPolicy()).fault_tolerance
+
+
+# ----------------------------------------------------------------------
+# Retry on the same device
+# ----------------------------------------------------------------------
+def test_retry_bridges_a_transient_outage():
+    engine = build_lab(config=EngineConfig(
+        probing=False,
+        retry=RetryPolicy(max_attempts=4, backoff_base=1.0,
+                          backoff_factor=2.0, jitter=0.0)))
+    engine.comm.registry.get("cam1").go_offline()
+
+    def recovery(env):
+        yield env.timeout(2.5)
+        engine.comm.registry.get("cam1").go_online()
+
+    engine.env.process(recovery(engine.env))
+    request = make_request(engine, Point(4, 3), candidates=("cam1",))
+    reports = drive(engine, [request])
+
+    # Attempts at t=0 (fail), t=1 (fail), t=3 (cam1 back): serviced.
+    assert request.state is RequestState.SERVICED
+    assert request.assigned_device == "cam1"
+    assert request.attempts == 3
+    assert engine.dispatcher.retries_total == 2
+    assert reports[0].serviced == 1
+    assert reports[0].retries == 2
+    assert len(engine.tracer.of_kind("request_retry")) == 2
+
+
+def test_permanent_failures_are_not_retried():
+    engine = build_lab(config=EngineConfig(
+        probing=False,
+        retry=RetryPolicy(max_attempts=3, failover=True)))
+    # no_coverage is geometric and hence permanent for a fixed camera:
+    # photographing a target behind it fails identically every attempt.
+    request = make_request(engine, Point(-50, 0), candidates=("cam1",))
+    drive(engine, [request])
+    assert request.state is RequestState.FAILED
+    assert request.attempts == 1
+    assert engine.dispatcher.retries_total == 0
+    assert engine.dispatcher.failovers_total == 0
+
+
+# ----------------------------------------------------------------------
+# Failover re-dispatch
+# ----------------------------------------------------------------------
+def test_failover_reassigns_to_surviving_candidate():
+    engine = build_lab(config=EngineConfig(
+        probing=False, retry=RetryPolicy(failover=True)))
+    engine.comm.registry.get("cam1").go_offline()
+    # Target near cam1, so the blind scheduler assigns cam1 first.
+    request = make_request(engine, Point(4, 3))
+    reports = drive(engine, [request])
+
+    assert request.state is RequestState.SERVICED
+    assert request.assigned_device == "cam2"
+    assert request.failed_devices == ("cam1",)
+    assert request.dispatches == 2
+    assert engine.dispatcher.failovers_total == 1
+    assert reports[0].failed_over == 1
+    assert reports[0].serviced == 0 and reports[0].failed == 0
+    assert reports[1].serviced == 1
+    # The request completed exactly once.
+    assert engine.dispatcher.completed == [request]
+    assert engine.dispatcher.serviced_total == 1
+    assert engine.dispatcher.failed_total == 0
+
+
+def test_failover_respects_dispatch_cap():
+    engine = build_lab(config=EngineConfig(
+        probing=False,
+        retry=RetryPolicy(failover=True, max_dispatches=2)))
+    for camera in ("cam1", "cam2"):
+        engine.comm.registry.get(camera).go_offline()
+    request = make_request(engine, Point(4, 3))
+    drive(engine, [request])
+    # Two dispatches (original + one failover), then final failure.
+    assert request.state is RequestState.FAILED
+    assert request.dispatches == 2
+    assert engine.dispatcher.failovers_total == 1
+
+
+def test_no_available_candidate_requeues_until_recovery():
+    engine = build_lab(config=EngineConfig(
+        retry=RetryPolicy(failover=True, max_dispatches=6)))
+    engine.comm.registry.get("cam1").go_offline()
+    engine.comm.registry.get("cam2").go_offline()
+
+    def recovery(env):
+        yield env.timeout(3.0)
+        engine.comm.registry.get("cam2").go_online()
+
+    engine.env.process(recovery(engine.env))
+    action = engine.actions.get("photo")
+    operator = engine.dispatcher.operator_for(action)
+    engine.dispatcher.start()
+    operator.submit(make_request(engine, Point(16, 3)))
+    engine.env.run(until=30.0)
+
+    [request] = engine.dispatcher.completed
+    assert request.state is RequestState.SERVICED
+    assert request.assigned_device == "cam2"
+    assert request.dispatches > 1
+
+
+def test_dead_device_queue_drains_back_to_dispatcher():
+    engine = build_lab(config=EngineConfig(
+        probing=False, retry=RetryPolicy(failover=True)))
+    engine.comm.registry.get("cam1").go_offline()
+    action = engine.actions.get("photo")
+    operator = engine.dispatcher.operator_for(action)
+    first = make_request(engine, Point(4, 3))
+    second = make_request(engine, Point(5, 3))
+    first.dispatches = second.dispatches = 1
+    camera = engine.comm.registry.get("cam1")
+
+    def proc(env):
+        yield from engine.dispatcher._service_queue(
+            action, camera, [first, second])
+
+    engine.env.process(proc(engine.env))
+    engine.env.run()
+
+    # The first request failed over after its attempt; the second was
+    # drained back without ever executing on the dead camera.
+    assert first.attempts == 1
+    assert second.attempts == 0
+    assert second.state is RequestState.PENDING
+    assert "cam1" not in second.candidates
+    assert operator.pending_count == 2
+    assert not engine.locks.is_locked("cam1")
+
+
+# ----------------------------------------------------------------------
+# Quarantine wiring
+# ----------------------------------------------------------------------
+def test_repeated_probe_failures_quarantine_device():
+    engine = build_lab(config=EngineConfig(
+        retry=RetryPolicy(failover=True),
+        health=HealthPolicy(failure_threshold=2, quarantine_seconds=30.0)))
+    engine.comm.registry.get("cam1").go_offline()
+
+    reports = drive(engine, [make_request(engine, Point(16, 3))])
+    assert reports[-1].serviced == 1  # cam2 services it
+    reports = drive(engine, [make_request(engine, Point(16, 3))])
+    # Second consecutive probe failure opened the breaker.
+    assert engine.health.state_of("cam1") is BreakerState.OPEN
+
+    probes_before = engine.comm.prober.probes_sent
+    reports = drive(engine, [make_request(engine, Point(16, 3))])
+    # cam1 was skipped outright: only cam2 got probed.
+    assert reports[-1].quarantined_skipped == 1
+    assert engine.comm.prober.probes_sent == probes_before + 1
+
+
+def test_quarantined_device_readmitted_after_probation_probe():
+    engine = build_lab(config=EngineConfig(
+        retry=RetryPolicy(failover=True),
+        health=HealthPolicy(failure_threshold=2, quarantine_seconds=5.0)))
+    camera = engine.comm.registry.get("cam1")
+    camera.go_offline()
+    drive(engine, [make_request(engine, Point(16, 3))])
+    drive(engine, [make_request(engine, Point(16, 3))])
+    assert engine.health.state_of("cam1") is BreakerState.OPEN
+
+    camera.go_online()
+    engine.env.run(until=engine.env.now + 6.0)  # window expires
+    request = make_request(engine, Point(4, 3))
+    drive(engine, [request])
+    # Probation probe succeeded: cam1 is back in the candidate pool.
+    assert engine.health.state_of("cam1") is BreakerState.CLOSED
+    assert request.state is RequestState.SERVICED
+    assert engine.health.recoveries_total == 1
+    assert engine.statistics()["devices_readmitted"] == 1
+
+
+# ----------------------------------------------------------------------
+# Disabled-policy equivalence
+# ----------------------------------------------------------------------
+def test_fault_tolerance_config_is_inert_without_failures():
+    """With nothing failing, FT on and off behave identically."""
+    outcomes = []
+    for config in (EngineConfig(),
+                   EngineConfig(retry=RetryPolicy(max_attempts=3,
+                                                  failover=True),
+                                health=HealthPolicy())):
+        engine = build_lab(config=config)
+        requests = [make_request(engine, Point(4, 3)),
+                    make_request(engine, Point(16, 3)),
+                    make_request(engine, Point(10, 3))]
+        reports = drive(engine, requests)
+        outcomes.append((
+            [r.assigned_device for r in requests],
+            [r.completed_at for r in requests],
+            [(rep.serviced, rep.failed, rep.failed_over,
+              rep.batch_finished_at) for rep in reports],
+        ))
+    assert outcomes[0] == outcomes[1]
+
+
+def test_statistics_expose_fault_tolerance_counters():
+    engine = build_lab(config=EngineConfig(
+        retry=RetryPolicy(max_attempts=2, failover=True),
+        health=HealthPolicy()))
+    drive(engine, [make_request(engine, Point(4, 3))])
+    stats = engine.statistics()
+    assert stats["execution_attempts"] == 1
+    assert stats["retries"] == 0
+    assert stats["failovers"] == 0
+    assert stats["devices_quarantined"] == 0
+    assert stats["currently_quarantined"] == 0

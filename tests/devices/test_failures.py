@@ -83,3 +83,76 @@ def test_random_outages_bad_horizon():
     with pytest.raises(DeviceError, match="horizon"):
         injector.random_outages([], horizon=0, outage_rate_per_device=0.1,
                                 mean_duration=1.0)
+
+
+def test_outage_in_the_past_rejected():
+    env = Environment()
+    camera = PanTiltZoomCamera(env, "cam1", Point(0, 0))
+    injector = FailureInjector(env)
+
+    def late_scheduler(env):
+        yield env.timeout(10.0)
+        with pytest.raises(DeviceError, match="clock is already at"):
+            injector.schedule_outage(camera, OutageSpec(
+                device_id="cam1", start=5.0, duration=1.0))
+
+    env.process(late_scheduler(env))
+    env.run()
+    assert not injector.scheduled
+
+
+def test_random_outages_clamped_to_horizon():
+    env = Environment()
+    devices = [SensorMote(env, f"m{i}", Point(i, 0)) for i in range(10)]
+    injector = FailureInjector(env)
+    horizon = 50.0
+    # A long mean duration forces clamping for late-starting episodes.
+    injector.random_outages(
+        devices, horizon=horizon, outage_rate_per_device=0.1,
+        mean_duration=40.0, rng=random.Random(7))
+    assert injector.scheduled
+    for spec in injector.scheduled:
+        assert spec.start < horizon
+        assert spec.start + spec.duration <= horizon + 1e-9
+    # Every episode also recovers inside the horizon.
+    env.run(until=horizon)
+    assert all(d.online for d in devices)
+
+
+def test_random_outages_per_device_substreams():
+    """Removing one device must not perturb the others' episodes."""
+    def schedule(device_ids):
+        env = Environment()
+        devices = [SensorMote(env, d, Point(0, 0)) for d in device_ids]
+        injector = FailureInjector(env)
+        injector.random_outages(
+            devices, horizon=200.0, outage_rate_per_device=0.03,
+            mean_duration=5.0, rng=random.Random(11))
+        return {(s.device_id, s.start, s.duration, s.kind)
+                for s in injector.scheduled}
+
+    full = schedule(["m1", "m2", "m3"])
+    without_m2 = schedule(["m1", "m3"])
+    assert without_m2 == {e for e in full if e[0] != "m2"}
+
+
+def test_random_outages_skip_zero_episode_devices():
+    # An expected count below 1 leaves some devices episode-free; their
+    # substreams must still not disturb devices that do draw episodes.
+    def schedule(device_ids):
+        env = Environment()
+        devices = [SensorMote(env, d, Point(0, 0)) for d in device_ids]
+        injector = FailureInjector(env)
+        injector.random_outages(
+            devices, horizon=100.0, outage_rate_per_device=0.005,
+            mean_duration=5.0, rng=random.Random(2))
+        return {(s.device_id, s.start, s.duration, s.kind)
+                for s in injector.scheduled}
+
+    ids = [f"m{i}" for i in range(40)]
+    episodes = schedule(ids)
+    affected = {device_id for device_id, *_ in episodes}
+    assert affected  # expected 0.5 episodes/device over 40 devices
+    assert len(affected) < len(ids)  # ... but far from all of them
+    # Dropping every quiet device reproduces the exact same schedule.
+    assert schedule(sorted(affected)) == episodes

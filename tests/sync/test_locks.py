@@ -143,6 +143,117 @@ def test_cancel_queued_request():
     assert not manager.is_locked("cam1")
 
 
+def test_recover_frees_a_dead_holders_lock():
+    env = Environment()
+    manager = DeviceLockManager(env)
+    dead_token = LockToken("dead")
+    serviced = []
+
+    def dead_holder(env):
+        yield from manager.acquire("cam1", dead_token)
+        # Never releases: the executor died mid-action.
+
+    def waiter(env):
+        token = LockToken("waiter")
+        yield from manager.acquire("cam1", token)
+        serviced.append(env.now)
+        manager.release("cam1", token)
+
+    def operator(env):
+        yield env.timeout(5.0)
+        assert manager.recover("cam1") is dead_token
+
+    env.process(dead_holder(env))
+    env.process(waiter(env))
+    env.process(operator(env))
+    env.run()
+    assert serviced == [5.0]
+    assert manager.recoveries == 1
+    assert not manager.is_locked("cam1")
+
+
+def test_recover_on_free_lock_is_a_noop():
+    env = Environment()
+    manager = DeviceLockManager(env)
+    assert manager.recover("cam1") is None
+    assert manager.recoveries == 0
+
+
+def test_lease_expiry_auto_recovers_the_lock():
+    env = Environment()
+    manager = DeviceLockManager(env)
+    serviced = []
+
+    def dead_holder(env):
+        yield from manager.acquire("cam1", LockToken("dead"),
+                                   lease_seconds=3.0)
+        # Never releases; the watchdog evicts it at t=3.
+
+    def waiter(env):
+        token = LockToken("waiter")
+        yield from manager.acquire("cam1", token)
+        serviced.append(env.now)
+        manager.release("cam1", token)
+
+    env.process(dead_holder(env))
+    env.process(waiter(env))
+    env.run()
+    assert serviced == [3.0]
+    assert manager.recoveries == 1
+
+
+def test_release_after_recovery_is_silent():
+    env = Environment()
+    manager = DeviceLockManager(env)
+    slow_token = LockToken("slow")
+    serviced = []
+
+    def slow_holder(env):
+        yield from manager.acquire("cam1", slow_token, lease_seconds=2.0)
+        yield env.timeout(5.0)  # outlives the lease but does finish
+        manager.release("cam1", slow_token)
+
+    def waiter(env):
+        token = LockToken("waiter")
+        yield from manager.acquire("cam1", token)
+        serviced.append(env.now)
+        yield env.timeout(10.0)
+        manager.release("cam1", token)
+
+    env.process(slow_holder(env))
+    env.process(waiter(env))
+    env.run()
+    # The waiter got the lock at lease expiry, and the slow holder's
+    # late release neither raised nor stole the waiter's lock.
+    assert serviced == [2.0]
+    assert manager.recoveries == 1
+
+
+def test_lease_does_not_fire_after_normal_release():
+    env = Environment()
+    manager = DeviceLockManager(env)
+
+    def holder(env):
+        token = LockToken("holder")
+        yield from manager.acquire("cam1", token, lease_seconds=10.0)
+        yield env.timeout(1.0)
+        manager.release("cam1", token)
+
+    def reacquirer(env):
+        yield env.timeout(2.0)
+        token = LockToken("next")
+        yield from manager.acquire("cam1", token)
+        yield env.timeout(20.0)  # still holding when the old lease fires
+        manager.release("cam1", token)
+
+    env.process(holder(env))
+    env.process(reacquirer(env))
+    env.run()
+    # The first holder released in time: its watchdog must not evict
+    # the unrelated current holder.
+    assert manager.recoveries == 0
+
+
 def test_queue_length_reporting():
     env = Environment()
     manager = DeviceLockManager(env)
