@@ -1,7 +1,9 @@
 """Command-line entry point: ``python -m repro``.
 
 Prints the library banner and optionally runs the built-in demo (the
-paper's Figure 1 scenario, same as ``examples/quickstart.py``).
+paper's Figure 1 scenario, same as ``examples/quickstart.py``). The
+``metrics`` subcommand runs the same scenario with observability
+enabled and exports its metrics and span tree.
 """
 
 from __future__ import annotations
@@ -12,12 +14,14 @@ import sys
 import repro
 from repro import (
     AortaEngine,
+    EngineConfig,
     Environment,
     PanTiltZoomCamera,
     Point,
     SensorMote,
     SensorStimulus,
 )
+from repro.obs import metrics_to_json, metrics_to_text, span_tree_text
 
 BANNER = f"""Aorta {repro.__version__} — pervasive query processing
 Reproduction of Xue, Luo, Ni: "Systems Support for Pervasive Query
@@ -25,10 +29,11 @@ Processing" (ICDCS 2005). See README.md, DESIGN.md, EXPERIMENTS.md.
 """
 
 
-def run_demo() -> int:
-    """The Figure 1 snapshot query in one shot."""
+def _demo_engine(*, observability: bool = False) -> AortaEngine:
+    """The Figure 1 scenario, built but not yet run."""
     env = Environment()
-    engine = AortaEngine(env)
+    config = EngineConfig(observability=observability)
+    engine = AortaEngine(env, config=config)
     engine.add_device(PanTiltZoomCamera(env, "cam1", Point(0, 0)))
     engine.add_device(PanTiltZoomCamera(env, "cam2", Point(20, 0),
                                         facing=180.0))
@@ -42,11 +47,31 @@ def run_demo() -> int:
                                magnitude=850.0))
     engine.start()
     engine.run(until=30.0)
+    return engine
+
+
+def run_demo() -> int:
+    """The Figure 1 snapshot query in one shot."""
+    engine = _demo_engine()
     print("Trace of the run:")
     print(engine.tracer.tail())
     request = engine.completed_requests[0]
     print(f"\nPhoto stored at {request.result.pathname} "
           f"({request.completion_seconds:.2f}s after the event)")
+    return 0
+
+
+def run_metrics(*, as_json: bool = False, spans: bool = False) -> int:
+    """Run the demo with observability on; export what it measured."""
+    engine = _demo_engine(observability=True)
+    snapshot = engine.metrics()
+    if as_json:
+        print(metrics_to_json(snapshot))
+    else:
+        print(metrics_to_text(snapshot))
+    if spans:
+        print("\nspan tree:")
+        print(span_tree_text(engine.tracer))
     return 0
 
 
@@ -58,10 +83,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="run the Figure 1 demo scenario")
     parser.add_argument("--version", action="store_true",
                         help="print the version and exit")
+    subcommands = parser.add_subparsers(dest="command")
+    metrics = subcommands.add_parser(
+        "metrics",
+        help="run the demo scenario with observability enabled and "
+             "print its metrics")
+    metrics.add_argument("--json", action="store_true",
+                         help="export machine-readable JSON instead of "
+                              "the text table")
+    metrics.add_argument("--spans", action="store_true",
+                         help="also print the virtual-time span tree")
     args = parser.parse_args(argv)
     if args.version:
         print(repro.__version__)
         return 0
+    if args.command == "metrics":
+        return run_metrics(as_json=args.json, spans=args.spans)
     print(BANNER)
     if args.demo:
         return run_demo()

@@ -18,10 +18,12 @@ from repro.errors import CommunicationError, ConnectionTimeoutError, DeviceError
 from repro.devices.base import Device
 from repro.network.message import Message
 from repro.network.transport import Transport
+from repro.obs.spans import NULL_OBS
 from repro.sim import Environment
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.devices.health import DeviceHealthTracker
+    from repro.obs.spans import Observability, SpanContext
 
 #: System-provided probe TIMEOUT per device type, in seconds. Cameras
 #: answer over the LAN quickly; motes may need radio retries; phones go
@@ -74,6 +76,8 @@ class Prober:
         #: Optional circuit-breaker sink: every probe outcome is
         #: reported here so repeated misses quarantine the device.
         self.health: Optional["DeviceHealthTracker"] = None
+        #: Metrics + spans (the engine replaces this with its own).
+        self.obs: "Observability" = NULL_OBS
 
     def timeout_for(self, device: Device) -> float:
         """The TIMEOUT that applies to this device's type."""
@@ -84,7 +88,10 @@ class Prober:
         self.probes_sent = 0
         self.probes_failed = 0
 
-    def probe(self, device: Device) -> Generator[Any, Any, ProbeResult]:
+    def probe(
+        self, device: Device,
+        parent_span: Optional["SpanContext"] = None,
+    ) -> Generator[Any, Any, ProbeResult]:
         """Check one candidate's availability and fetch its status.
 
         The probe is the paper's several-message exchange: a connection
@@ -96,51 +103,68 @@ class Prober:
         timeout = self.timeout_for(device)
         started = self.env.now
         self.probes_sent += 1
+        self.obs.inc("probe.sent", device_type=device.device_type)
         phase = "connect"
-        try:
-            connection = yield from self.transport.connect(device, timeout)
+        with self.obs.span("probe", parent=parent_span, detached=True,
+                           device=device.device_id):
             try:
-                phase = "ping"
-                ping = yield from connection.request(Message(
-                    kind="ping", device_id=device.device_id), timeout)
-                if not ping.ok:
-                    raise CommunicationError(f"ping failed: {ping.error}")
-                phase = "status"
-                status = yield from connection.request(Message(
-                    kind="status", device_id=device.device_id), timeout)
-                if not status.ok:
-                    raise CommunicationError(f"status failed: {status.error}")
-            finally:
-                connection.close()
-        except (ConnectionTimeoutError, CommunicationError, DeviceError) as exc:
-            self.probes_failed += 1
+                connection = yield from self.transport.connect(device,
+                                                               timeout)
+                try:
+                    phase = "ping"
+                    ping = yield from connection.request(Message(
+                        kind="ping", device_id=device.device_id), timeout)
+                    if not ping.ok:
+                        raise CommunicationError(
+                            f"ping failed: {ping.error}")
+                    phase = "status"
+                    status = yield from connection.request(Message(
+                        kind="status", device_id=device.device_id),
+                        timeout)
+                    if not status.ok:
+                        raise CommunicationError(
+                            f"status failed: {status.error}")
+                finally:
+                    connection.close()
+            except (ConnectionTimeoutError, CommunicationError,
+                    DeviceError) as exc:
+                self.probes_failed += 1
+                self.obs.inc("probe.failed",
+                             device_type=device.device_type, phase=phase)
+                self.obs.observe("probe.rtt_seconds",
+                                 self.env.now - started,
+                                 device_type=device.device_type)
+                if self.health is not None:
+                    self.health.record_failure(device.device_id,
+                                               reason=f"probe {phase}")
+                return ProbeResult(
+                    device_id=device.device_id,
+                    available=False,
+                    round_trip_seconds=self.env.now - started,
+                    error=f"{phase}: {exc}",
+                )
+            self.obs.observe("probe.rtt_seconds", self.env.now - started,
+                             device_type=device.device_type)
             if self.health is not None:
-                self.health.record_failure(device.device_id,
-                                           reason=f"probe {phase}")
+                self.health.record_success(device.device_id)
             return ProbeResult(
                 device_id=device.device_id,
-                available=False,
+                available=True,
+                status=status.value,
                 round_trip_seconds=self.env.now - started,
-                error=f"{phase}: {exc}",
             )
-        if self.health is not None:
-            self.health.record_success(device.device_id)
-        return ProbeResult(
-            device_id=device.device_id,
-            available=True,
-            status=status.value,
-            round_trip_seconds=self.env.now - started,
-        )
 
     def probe_all(
-        self, devices: List[Device]
+        self, devices: List[Device],
+        parent_span: Optional["SpanContext"] = None,
     ) -> Generator[Any, Any, List[ProbeResult]]:
         """Probe candidates concurrently; results in input order.
 
         Probing in parallel matters: a single dead mote would otherwise
         stall device selection for its whole TIMEOUT.
         """
-        probes = [self.env.process(self.probe(device)).defuse()
+        probes = [self.env.process(
+                      self.probe(device, parent_span=parent_span)).defuse()
                   for device in devices]
         results = []
         for probe in probes:

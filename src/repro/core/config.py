@@ -109,6 +109,10 @@ class EngineConfig:
     #: after acquisition is forcibly recovered so FIFO waiters proceed
     #: (see DeviceLockManager.recover). ``None`` disables leases.
     lock_lease_seconds: Optional[float] = None
+    #: Metrics + span tracing (the repro.obs subsystem). Off by
+    #: default; the disabled path is byte-identical to an engine built
+    #: before the observability layer existed (benchmark-gated).
+    observability: bool = False
 
     def __post_init__(self) -> None:
         if self.poll_interval <= 0:

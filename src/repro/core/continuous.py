@@ -76,6 +76,11 @@ class ContinuousQueryExecutor:
         self._running = False
         self.polls = 0
 
+    @property
+    def obs(self):
+        """The engine's observability sink (shared via the dispatcher)."""
+        return self.dispatcher.obs
+
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
@@ -155,17 +160,21 @@ class ContinuousQueryExecutor:
         """
         self.polls += 1
         emitted = 0
-        for table in list(self._queries_by_table):
-            if not any(q.enabled
-                       for q in self._queries_by_table.get(table, ())):
-                continue
-            scan = self._scan_for(table)
-            rows = yield from scan.scan()
-            # Re-read the index after the scan: queries may have been
-            # registered or dropped while the acquisition was in flight.
-            for query in list(self._queries_by_table.get(table, ())):
-                if query.enabled:
-                    emitted += self._detect_events(query, rows)
+        self.obs.inc("continuous.polls")
+        # Detached: dispatch batches emitted by this poll outlive it on
+        # concurrent processes, so they must not nest under the poll.
+        with self.obs.span("continuous.poll", detached=True):
+            for table in list(self._queries_by_table):
+                if not any(q.enabled
+                           for q in self._queries_by_table.get(table, ())):
+                    continue
+                scan = self._scan_for(table)
+                rows = yield from scan.scan()
+                # Re-read the index after the scan: queries may have been
+                # registered or dropped while the acquisition was in flight.
+                for query in list(self._queries_by_table.get(table, ())):
+                    if query.enabled:
+                        emitted += self._detect_events(query, rows)
         return emitted
 
     def _scan_for(self, table: str) -> ScanOperator:
@@ -194,6 +203,7 @@ class ContinuousQueryExecutor:
             if self.config.edge_triggered and previously:
                 continue  # still the same event, no re-trigger
             query.events_detected += 1
+            self.obs.inc("continuous.events_detected", query=query.name)
             self.dispatcher.tracer.record(
                 self.env.now, "event_detected", query=query.name,
                 sensor=row.device_id)
@@ -211,6 +221,8 @@ class ContinuousQueryExecutor:
         candidates = self._candidates(plan, context)
         if not candidates:
             query.uncovered_events += 1
+            self.obs.inc("continuous.uncovered_events",
+                         query=plan.query_name)
             return False
         operator = self.dispatcher.operator_for(plan.action)
         self.dispatcher.tracer.record(
@@ -228,6 +240,8 @@ class ContinuousQueryExecutor:
                     candidates=(device_id,),
                 ))
                 query.requests_emitted += 1
+                self.obs.inc("continuous.requests_emitted",
+                             query=plan.query_name)
         else:
             operator.submit(ActionRequest(
                 action_name=plan.action.name,
@@ -237,6 +251,8 @@ class ContinuousQueryExecutor:
                 candidates=tuple(candidates),
             ))
             query.requests_emitted += 1
+            self.obs.inc("continuous.requests_emitted",
+                         query=plan.query_name)
         return True
 
     def _candidates(self, plan: ContinuousPlan,

@@ -40,6 +40,7 @@ from repro.scheduling import (
     SimulatedAnnealingScheduler,
     SrfaeScheduler,
 )
+from repro.obs.spans import NULL_OBS, Observability, SpanContext
 from repro.sim import Environment, Event
 from repro.sim.rng import derive_seed
 from repro.sync.locks import DeviceLockManager, LockToken
@@ -143,6 +144,7 @@ class Dispatcher:
         scheduler: Optional[Scheduler] = None,
         tracer: Optional["EngineTracer"] = None,
         health: Optional[DeviceHealthTracker] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         from repro.core.tracing import EngineTracer
         self.env = env
@@ -150,6 +152,8 @@ class Dispatcher:
         self.cost_model = cost_model
         self.locks = locks
         self.config = config
+        #: Metrics + spans (the shared disabled instance by default).
+        self.obs = obs if obs is not None else NULL_OBS
         #: Per-device circuit breakers (None = health tracking off).
         self.health = health
         # Note: an empty tracer is falsy (it has __len__), so test
@@ -237,6 +241,19 @@ class Dispatcher:
     def dispatch_batch(
         self, action: ActionDefinition, batch: List[ActionRequest]
     ) -> Generator[Any, Any, DispatchReport]:
+        # Detached: the batch runs as its own sim process, interleaved
+        # with continuous polls — dynamic nesting would misparent them.
+        batch_span = self.obs.span("dispatch.batch", detached=True,
+                                   action=action.name, size=len(batch))
+        with batch_span:
+            report = yield from self._dispatch_batch(action, batch,
+                                                     batch_span)
+        return report
+
+    def _dispatch_batch(
+        self, action: ActionDefinition, batch: List[ActionRequest],
+        batch_span: Any,
+    ) -> Generator[Any, Any, DispatchReport]:
         batch_started = self.env.now
         policy = self.config.retry
         if policy.failover:
@@ -259,7 +276,8 @@ class Dispatcher:
         available: set[str] = set()
         if self.config.probing:
             device_list = list(devices.values())
-            results = yield from self.comm.prober.probe_all(device_list)
+            results = yield from self.comm.prober.probe_all(
+                device_list, parent_span=batch_span)
             for device, result in zip(device_list, results):
                 if result.available:
                     available.add(device.device_id)
@@ -323,7 +341,13 @@ class Dispatcher:
                                               devices, statuses),
                 label=f"batch:{action.name}@{batch_started}",
             )
-            schedule = self.scheduler.schedule(problem)
+            with self.obs.span(
+                    "dispatch.schedule",
+                    parent=batch_span if isinstance(batch_span, SpanContext)
+                    else None,
+                    algorithm=self.scheduler.name,
+                    size=len(schedulable)):
+                schedule = self.scheduler.schedule(problem)
             scheduling_seconds = schedule.scheduling_seconds
             for request in schedulable:
                 request.mark_assigned(schedule.device_of(request.request_id))
@@ -337,7 +361,8 @@ class Dispatcher:
                     executions.append(self.env.process(
                         self._service_queue(
                             action, devices[device_id],
-                            [by_id[request_id] for request_id in queue])
+                            [by_id[request_id] for request_id in queue],
+                            batch_span)
                     ).defuse())
             else:
                 # Unsynchronized: every request fires immediately and
@@ -347,7 +372,7 @@ class Dispatcher:
                         executions.append(self.env.process(
                             self._service_unlocked(
                                 action, devices[device_id],
-                                by_id[request_id])).defuse())
+                                by_id[request_id], batch_span)).defuse())
             for execution in executions:
                 yield execution
             for request in schedulable:
@@ -381,6 +406,20 @@ class Dispatcher:
             quarantined_skipped=quarantined_skipped,
         )
         self.reports.append(report)
+        obs = self.obs
+        if obs.enabled:
+            obs.inc("dispatch.batches", action=action.name)
+            obs.observe("dispatch.batch_size", len(batch),
+                        action=action.name)
+            obs.inc("dispatch.requests_serviced", serviced)
+            obs.inc("dispatch.requests_failed", failed + unschedulable)
+            obs.inc("dispatch.requests_failed_over", failed_over)
+            obs.inc("dispatch.quarantined_skipped", quarantined_skipped)
+            obs.observe("dispatch.makespan_seconds",
+                        report.makespan_seconds)
+            obs.observe("dispatch.scheduling_wallclock_seconds",
+                        scheduling_seconds,
+                        algorithm=self.scheduler.name)
         self.tracer.record(
             self.env.now, "batch_dispatched", action=action.name,
             size=len(batch), serviced=serviced,
@@ -402,7 +441,7 @@ class Dispatcher:
     # ------------------------------------------------------------------
     def _service_queue(
         self, action: ActionDefinition, device: Device,
-        queue: List[ActionRequest],
+        queue: List[ActionRequest], batch_span: Any = None,
     ) -> Generator[Any, Any, None]:
         """Service one device's queue in order, under its lock."""
         lease = self.config.lock_lease_seconds
@@ -411,7 +450,8 @@ class Dispatcher:
             yield from self.locks.acquire(device.device_id, token,
                                           lease_seconds=lease)
             try:
-                yield from self._execute_one(action, device, request)
+                yield from self._execute_one(action, device, request,
+                                             batch_span)
             finally:
                 self.locks.release(device.device_id, token)
             if self.config.retry.failover and not device.reachable:
@@ -437,13 +477,13 @@ class Dispatcher:
 
     def _service_unlocked(
         self, action: ActionDefinition, device: Device,
-        request: ActionRequest,
+        request: ActionRequest, batch_span: Any = None,
     ) -> Generator[Any, Any, None]:
-        yield from self._execute_one(action, device, request)
+        yield from self._execute_one(action, device, request, batch_span)
 
     def _execute_one(
         self, action: ActionDefinition, device: Device,
-        request: ActionRequest,
+        request: ActionRequest, batch_span: Any = None,
     ) -> Generator[Any, Any, None]:
         """Run one request, retrying transient failures per the policy.
 
@@ -456,42 +496,55 @@ class Dispatcher:
         """
         policy = self.config.retry
         attempt = 0
-        while True:
-            attempt += 1
-            request.attempts += 1
-            self.attempts_total += 1
-            try:
-                result = yield from action.execute(device,
-                                                   request.arguments)
-            except ActionFailedError as exc:
-                transient = is_transient(exc)
-                mark_reason = exc.reason
-            except (DeviceError, CommunicationError, QueryError) as exc:
-                transient = is_transient(exc)
-                mark_reason = str(exc)
-            else:
-                if self.health is not None:
-                    self.health.record_success(device.device_id)
-                request.mark_serviced(self.env.now, result)
+        execute_span = self.obs.span(
+            "dispatch.execute",
+            parent=batch_span if isinstance(batch_span, SpanContext)
+            else None,
+            detached=True,
+            request=request.request_id, device=device.device_id)
+        with execute_span:
+            while True:
+                attempt += 1
+                request.attempts += 1
+                self.attempts_total += 1
+                self.obs.inc("dispatch.attempts", device=device.device_id)
+                try:
+                    result = yield from action.execute(device,
+                                                       request.arguments)
+                except ActionFailedError as exc:
+                    transient = is_transient(exc)
+                    mark_reason = exc.reason
+                except (DeviceError, CommunicationError, QueryError) as exc:
+                    transient = is_transient(exc)
+                    mark_reason = str(exc)
+                else:
+                    if self.health is not None:
+                        self.health.record_success(device.device_id)
+                    request.mark_serviced(self.env.now, result)
+                    break
+                if transient and self.health is not None:
+                    self.health.record_failure(device.device_id,
+                                               reason=mark_reason)
+                if transient and attempt < policy.max_attempts:
+                    self.retries_total += 1
+                    self.obs.inc("dispatch.retries",
+                                 device=device.device_id)
+                    backoff = policy.backoff_seconds(attempt,
+                                                     self._retry_rng)
+                    self.tracer.record(
+                        self.env.now, "request_retry",
+                        request=request.request_id,
+                        device=device.device_id,
+                        attempt=attempt, backoff=backoff,
+                        reason=mark_reason)
+                    if backoff > 0:
+                        yield self.env.timeout(backoff)
+                    continue
+                if transient and self._requeue_for_failover(
+                        request, device.device_id, mark_reason):
+                    return
+                request.mark_failed(self.env.now, mark_reason)
                 break
-            if transient and self.health is not None:
-                self.health.record_failure(device.device_id,
-                                           reason=mark_reason)
-            if transient and attempt < policy.max_attempts:
-                self.retries_total += 1
-                backoff = policy.backoff_seconds(attempt, self._retry_rng)
-                self.tracer.record(
-                    self.env.now, "request_retry",
-                    request=request.request_id, device=device.device_id,
-                    attempt=attempt, backoff=backoff, reason=mark_reason)
-                if backoff > 0:
-                    yield self.env.timeout(backoff)
-                continue
-            if transient and self._requeue_for_failover(
-                    request, device.device_id, mark_reason):
-                return
-            request.mark_failed(self.env.now, mark_reason)
-            break
         kind = ("request_serviced" if request.state is RequestState.SERVICED
                 else "request_failed")
         self.tracer.record(
@@ -525,6 +578,7 @@ class Dispatcher:
         request.mark_requeued(failed_device)
         operator.submit(request)
         self.failovers_total += 1
+        self.obs.inc("dispatch.failovers")
         self.tracer.record(
             self.env.now, "request_failed_over",
             request=request.request_id, failed_device=failed_device,

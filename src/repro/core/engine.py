@@ -85,20 +85,29 @@ class AortaEngine:
         self.functions.register("coverage", self._coverage, arity=2)
 
         from repro.core.tracing import EngineTracer
+        from repro.obs import Observability
         self.tracer = EngineTracer()
-        self.locks = DeviceLockManager(self.env)
+        #: Metrics registry + span recorder (disabled unless
+        #: config.observability); threaded through every component.
+        self.obs = Observability(self.env, tracer=self.tracer,
+                                 enabled=self.config.observability)
+        self.comm.transport.obs = self.obs
+        self.comm.prober.obs = self.obs
+        self.locks = DeviceLockManager(self.env, obs=self.obs)
         #: Per-device circuit breakers; None when health tracking is
         #: not configured. The prober feeds it probe outcomes and the
         #: dispatcher feeds it execution outcomes.
         self.health: Optional[DeviceHealthTracker] = None
         if self.config.health is not None:
             self.health = DeviceHealthTracker(self.env, self.config.health,
-                                              tracer=self.tracer)
+                                              tracer=self.tracer,
+                                              obs=self.obs)
             self.comm.prober.health = self.health
         self.dispatcher = Dispatcher(self.env, self.comm, self.cost_model,
                                      self.locks, self.config,
                                      tracer=self.tracer,
-                                     health=self.health)
+                                     health=self.health,
+                                     obs=self.obs)
         self.planner = Planner(self.schema, self.actions, self.functions,
                                self.comm)
         self.continuous = ContinuousQueryExecutor(
@@ -292,7 +301,10 @@ class AortaEngine:
 
     def run(self, until: float) -> float:
         """Advance the simulation to virtual time ``until``."""
-        return self.env.run(until=until)
+        with self.obs.span("engine.run"):
+            stopped = self.env.run(until=until)
+        self.obs.inc("engine.runs")
+        return stopped
 
     def run_select(self, sql: str) -> List[Tuple[Any, ...]]:
         """Convenience: execute a snapshot SELECT to completion.
@@ -341,6 +353,14 @@ class AortaEngine:
                                 if horizon > 0 else 0.0),
             }
         return report
+
+    def metrics(self) -> Dict[str, Any]:
+        """The deterministic metric snapshot of this engine's registry.
+
+        Sections are empty while ``config.observability`` is off — the
+        registry exists but nothing writes to it.
+        """
+        return self.obs.registry.snapshot()
 
     def statistics(self) -> Dict[str, Any]:
         """A status snapshot for monitoring and tests.

@@ -8,8 +8,11 @@ instead of sprinkling print statements through the engine.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
+
+from repro.errors import AortaError
 
 #: Known trace kinds, for documentation and filtering.
 TRACE_KINDS = (
@@ -27,7 +30,11 @@ TRACE_KINDS = (
     "device_quarantined",
     "device_probation",
     "device_readmitted",
+    # Observability layer: one record per closed virtual-time span.
+    "span",
 )
+
+_KNOWN_KINDS = frozenset(TRACE_KINDS)
 
 
 @dataclass(frozen=True)
@@ -47,24 +54,38 @@ class TraceRecord:
 
 
 class EngineTracer:
-    """Collects trace records; optionally bounded to the newest N."""
+    """Collects trace records; optionally bounded to the newest N.
 
-    def __init__(self, max_records: Optional[int] = 10_000) -> None:
+    Bounded retention rides on ``deque(maxlen=...)``, so recording past
+    the cap evicts the oldest record in O(1) instead of shifting the
+    whole buffer. ``strict=True`` rejects kinds missing from
+    :data:`TRACE_KINDS` at record time — the exhaustiveness tests use
+    it to prove no emitter can mint an undocumented kind.
+    """
+
+    def __init__(self, max_records: Optional[int] = 10_000,
+                 strict: bool = False) -> None:
         self.max_records = max_records
-        self._records: List[TraceRecord] = []
+        self.strict = strict
+        self._records: Deque[TraceRecord] = deque(maxlen=max_records)
         #: Optional live listener (e.g. print) invoked on every record.
         self.listener: Optional[Callable[[TraceRecord], None]] = None
 
     def record(self, at: float, kind: str, **fields: Any) -> TraceRecord:
         """Append one record (oldest evicted past ``max_records``)."""
+        if self.strict and kind not in _KNOWN_KINDS:
+            raise AortaError(
+                f"trace kind {kind!r} is not declared in TRACE_KINDS")
         entry = TraceRecord(at=at, kind=kind, fields=fields)
         self._records.append(entry)
-        if self.max_records is not None \
-                and len(self._records) > self.max_records:
-            del self._records[0]
         if self.listener is not None:
             self.listener(entry)
         return entry
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """All retained records, oldest first (a copy)."""
+        return list(self._records)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -86,4 +107,5 @@ class EngineTracer:
 
     def tail(self, count: int = 20) -> str:
         """The newest records, rendered one per line."""
-        return "\n".join(str(r) for r in self._records[-count:])
+        entries = list(self._records)
+        return "\n".join(str(r) for r in entries[-count:])

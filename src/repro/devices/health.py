@@ -25,10 +25,12 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.errors import DeviceError
+from repro.obs.spans import NULL_OBS
 from repro.sim import Environment
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.core.tracing import EngineTracer
+    from repro.obs.spans import Observability
 
 
 class BreakerState(enum.Enum):
@@ -92,10 +94,12 @@ class DeviceHealthTracker:
         env: Environment,
         policy: Optional[HealthPolicy] = None,
         tracer: Optional["EngineTracer"] = None,
+        obs: Optional["Observability"] = None,
     ) -> None:
         self.env = env
         self.policy = policy or HealthPolicy()
         self.tracer = tracer
+        self.obs = obs if obs is not None else NULL_OBS
         self._devices: Dict[str, _DeviceHealth] = {}
         #: Lifetime counters for statistics().
         self.quarantines_total = 0
@@ -131,6 +135,10 @@ class DeviceHealthTracker:
                 self._trace("device_readmitted", device=device_id,
                             recovery_seconds=self.env.now
                             - entry.quarantined_at)
+                self.obs.inc("health.readmissions", device=device_id)
+                self.obs.observe("health.recovery_seconds",
+                                 self.env.now - entry.quarantined_at,
+                                 device=device_id)
         else:
             entry.consecutive_failures = 0
 
@@ -163,6 +171,7 @@ class DeviceHealthTracker:
         self.quarantines_total += 1
         self._trace("device_quarantined", device=device_id,
                     window=entry.window, relapse=relapse, reason=reason)
+        self.obs.inc("health.quarantines", device=device_id)
 
     # ------------------------------------------------------------------
     # Candidate gating (from the dispatcher)
@@ -182,6 +191,7 @@ class DeviceHealthTracker:
             entry.state = BreakerState.HALF_OPEN
             entry.probation_successes = 0
             self._trace("device_probation", device=device_id)
+            self.obs.inc("health.probations", device=device_id)
         return True
 
     # ------------------------------------------------------------------

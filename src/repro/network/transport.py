@@ -20,6 +20,7 @@ from repro.errors import (
 from repro.devices.base import Device
 from repro.network.link import DEFAULT_LINKS, LinkModel
 from repro.network.message import Message, Response
+from repro.obs.spans import NULL_OBS
 from repro.sim import Environment
 
 
@@ -53,11 +54,14 @@ class Connection:
             )
         env = self._transport.env
         rng = self._transport.rng
+        obs = self._transport.obs
         started = env.now
         self.exchanges += 1
+        obs.inc("comm.requests", kind=message.kind)
 
         if not self.device.reachable or self.link.drops(rng):
             yield env.timeout(timeout)
+            obs.inc("comm.request_timeouts", kind=message.kind)
             raise ConnectionTimeoutError(
                 f"device {self.device.device_id!r} did not answer within "
                 f"{timeout} s"
@@ -74,9 +78,12 @@ class Connection:
         # Downlink latency.
         yield env.timeout(self.link.sample_latency(rng))
         if not self.device.reachable:
+            obs.inc("comm.request_timeouts", kind=message.kind)
             raise ConnectionTimeoutError(
                 f"device {self.device.device_id!r} went away mid-exchange"
             )
+        obs.observe("comm.rtt_seconds", env.now - started,
+                    kind=message.kind)
         return Response(
             device_id=self.device.device_id,
             ok=ok,
@@ -103,6 +110,8 @@ class Transport:
         self.env = env
         self.links = dict(DEFAULT_LINKS if links is None else links)
         self.rng = rng or random.Random(0)
+        #: Metrics sink (the engine replaces this with its own).
+        self.obs = NULL_OBS
 
     def link_for(self, device: Device) -> LinkModel:
         """The link model of the device's medium."""
@@ -121,18 +130,26 @@ class Transport:
         if timeout <= 0:
             raise CommunicationError(f"timeout must be positive, got {timeout}")
         link = self.link_for(device)
+        started = self.env.now
+        self.obs.inc("comm.connects", device_type=device.device_type)
         if not device.reachable or link.drops(self.rng):
             yield self.env.timeout(timeout)
+            self.obs.inc("comm.connect_timeouts",
+                         device_type=device.device_type)
             raise ConnectionTimeoutError(
                 f"connect to {device.device_id!r} timed out after {timeout} s"
             )
         handshake = 2 * link.sample_latency(self.rng)
         if handshake >= timeout:
             yield self.env.timeout(timeout)
+            self.obs.inc("comm.connect_timeouts",
+                         device_type=device.device_type)
             raise ConnectionTimeoutError(
                 f"connect to {device.device_id!r} timed out after {timeout} s"
             )
         yield self.env.timeout(handshake)
+        self.obs.observe("comm.connect_seconds", self.env.now - started,
+                         device_type=device.device_type)
         return Connection(self, device, link)
 
     def _handle(

@@ -1,0 +1,45 @@
+"""Observability: deterministic metrics, spans and exporters.
+
+The subsystem behind ``EngineConfig.observability``. One
+:class:`Observability` instance per engine carries a
+:class:`MetricsRegistry` and a virtual-time span recorder built on the
+engine tracer; exporters render both as stable JSON or terminal text.
+Everything is deterministic given the seeds — see
+``tests/obs/golden.py`` for the golden-trace harness that exploits it.
+"""
+
+from repro.obs.export import (
+    metrics_to_json,
+    metrics_to_text,
+    span_records,
+    span_tree_text,
+    spans_to_json,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+    render_key,
+)
+from repro.obs.spans import NULL_OBS, Observability, SpanContext
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "Observability",
+    "SpanContext",
+    "metric_key",
+    "metrics_to_json",
+    "metrics_to_text",
+    "render_key",
+    "span_records",
+    "span_tree_text",
+    "spans_to_json",
+]

@@ -1,0 +1,235 @@
+"""Deterministic metrics primitives: counters, gauges, histograms.
+
+Metrics are keyed by name plus a label tuple (``("device", "cam1")``
+pairs, sorted), so one registry holds e.g. a per-device-type family of
+round-trip histograms. Everything is built for determinism: snapshots
+render in stable sorted order, histogram buckets are fixed at creation,
+and merge is pointwise arithmetic — associative and commutative for
+counters and histograms — so sharded registries can be combined in any
+order and still agree byte-for-byte.
+
+Values that measure the host clock (not virtual time) must carry
+``wallclock`` in the metric name: the golden-trace harness excludes
+them from reproducibility comparisons by that convention.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import AortaError
+
+#: Default histogram bucket upper bounds, in (virtual) seconds. An
+#: implicit +inf bucket catches everything above the last bound.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0)
+
+_NAME_PATTERN = re.compile(r"^[a-z][a-z0-9_.]*$")
+
+#: A metric key: (name, ((label, value), ...)) with labels sorted.
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def metric_key(name: str, labels: Dict[str, Any]) -> MetricKey:
+    """The canonical registry key of one (name, labels) series."""
+    if not _NAME_PATTERN.match(name):
+        raise AortaError(
+            f"invalid metric name {name!r}: use lowercase dotted names")
+    return name, tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def render_key(key: MetricKey) -> str:
+    """``name{a=1,b=2}`` rendering used by snapshots and exporters."""
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{label}={value}" for label, value in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise AortaError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time level (queue depth, open breakers, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """A fixed-bucket distribution of observed values.
+
+    ``counts[i]`` counts observations ``<= buckets[i]``; the final slot
+    is the implicit +inf bucket. Bounds are fixed at creation so two
+    histograms of the same series always merge exactly.
+    """
+
+    __slots__ = ("buckets", "counts", "total", "count", "min", "max")
+
+    def __init__(self, buckets: Optional[Iterable[float]] = None) -> None:
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise AortaError(
+                "histogram buckets must be non-empty and strictly "
+                "increasing")
+        self.buckets: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.total = 0.0
+        self.count = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += value
+        self.count += 1
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (same buckets required)."""
+        if other.buckets != self.buckets:
+            raise AortaError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.buckets} vs {other.buckets}")
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.total += other.total
+        self.count += other.count
+        for bound_name in ("min", "max"):
+            mine = getattr(self, bound_name)
+            theirs = getattr(other, bound_name)
+            if theirs is None:
+                continue
+            if mine is None:
+                setattr(self, bound_name, theirs)
+            else:
+                pick = min if bound_name == "min" else max
+                setattr(self, bound_name, pick(mine, theirs))
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """All metric series of one engine (or one shard of a fleet).
+
+    Series are created lazily on first touch and typed forever: asking
+    for ``dispatch.batches`` as a counter and later as a gauge is an
+    error, not a silent overwrite.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[MetricKey, Metric] = {}
+
+    def _series(self, kind: type, name: str, labels: Dict[str, Any],
+                **kwargs: Any) -> Metric:
+        key = metric_key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = kind(**kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, kind):
+            raise AortaError(
+                f"metric {render_key(key)!r} is a "
+                f"{type(metric).__name__}, not a {kind.__name__}")
+        return metric
+
+    # ``name``/``buckets`` are positional-only so a label may be called
+    # ``name`` (e.g. ``span.seconds{name=...}``) without colliding.
+    def counter(self, name: str, /, **labels: Any) -> Counter:
+        return self._series(Counter, name, labels)
+
+    def gauge(self, name: str, /, **labels: Any) -> Gauge:
+        return self._series(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  buckets: Optional[Iterable[float]] = None,
+                  /, **labels: Any) -> Histogram:
+        return self._series(Histogram, name, labels, buckets=buckets)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """A deterministic, JSON-able copy of every series.
+
+        Stable under repetition: two snapshots with no activity in
+        between are equal, and key order is sorted — the golden-trace
+        harness and the exporters rely on both.
+        """
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Dict[str, Any]] = {}
+        for key in sorted(self._metrics):
+            metric = self._metrics[key]
+            rendered = render_key(key)
+            if isinstance(metric, Counter):
+                counters[rendered] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[rendered] = metric.value
+            else:
+                histograms[rendered] = {
+                    "buckets": list(metric.buckets),
+                    "counts": list(metric.counts),
+                    "sum": metric.total,
+                    "count": metric.count,
+                    "min": metric.min,
+                    "max": metric.max,
+                }
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one.
+
+        Counters and histogram contents add; gauges combine by
+        pointwise maximum (the only order-independent choice for a
+        level) — so merging shard registries is associative and
+        commutative, and ``a.merge(b)`` equals ``b.merge(a)`` snapshot
+        for snapshot.
+        """
+        for key, metric in other._metrics.items():
+            if isinstance(metric, Counter):
+                mine = self._series(Counter, key[0], dict(key[1]))
+                mine.value += metric.value
+            elif isinstance(metric, Gauge):
+                mine = self._series(Gauge, key[0], dict(key[1]))
+                mine.value = max(mine.value, metric.value)
+            else:
+                mine = self._series(Histogram, key[0], dict(key[1]),
+                                    buckets=metric.buckets)
+                mine.merge(metric)

@@ -1,0 +1,185 @@
+"""Virtual-time span tracing over the engine tracer.
+
+A span measures one named stretch of *virtual* time — a dispatch batch,
+a probe exchange, an action execution — with labels, a deterministic
+id, and a parent link to the innermost span open when it started. Spans
+ride on :class:`~repro.core.tracing.EngineTracer`: closing a span emits
+one ordinary ``"span"`` trace record, so every existing trace consumer
+(filters, tails, the golden harness) sees spans with no new plumbing.
+
+Because the clock is virtual and ids come from a per-engine counter,
+span trees are bit-reproducible across runs — which is what lets the
+golden-trace harness diff them.
+
+The whole layer sits behind :class:`Observability`, the single object
+the engine threads through its components. Disabled (the default), every
+entry point returns immediately — no records, no metrics, no RNG, no
+virtual-time effects — so the off path is byte-identical to an
+uninstrumented engine.
+
+Parenting has two modes. A span opened plainly is *nested*: its parent
+is the innermost open nested span and it joins that stack — right for
+sequential structure (engine run, dispatch batch, scheduling). A span
+opened with an explicit ``parent=`` is *detached*: it records the given
+parent but never joins the stack — right for concurrent work (probes,
+per-device executions) where dynamic nesting would misparent
+interleaved siblings under one another.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.errors import AortaError
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.tracing import EngineTracer
+    from repro.sim import Environment
+
+#: Trace-record field names a span emits; label keys must not collide.
+RESERVED_SPAN_FIELDS = frozenset({"span", "parent", "name", "start"})
+
+
+class _NullSpan:
+    """The shared no-op context manager of a disabled Observability."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class SpanContext:
+    """One open span; closes (and records) on context-manager exit."""
+
+    __slots__ = ("_obs", "span_id", "name", "labels", "started_at",
+                 "parent_id", "_nested")
+
+    def __init__(self, obs: "Observability", span_id: int, name: str,
+                 labels: Dict[str, str], parent_id: int,
+                 nested: bool) -> None:
+        self._obs = obs
+        self.span_id = span_id
+        self.name = name
+        self.labels = labels
+        self.parent_id = parent_id
+        self._nested = nested
+        self.started_at = obs.env.now
+
+    def __enter__(self) -> "SpanContext":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._obs._close_span(self)
+
+
+class Observability:
+    """Metrics + spans behind one enable switch.
+
+    The engine creates one instance and hands it to the dispatcher,
+    prober, transport, lock manager, health tracker and continuous
+    executor. Components call :meth:`span`, :meth:`inc`,
+    :meth:`observe` and :meth:`set_gauge` unconditionally; when
+    ``enabled`` is False each call is a guard test and a return.
+    """
+
+    def __init__(
+        self,
+        env: Optional["Environment"] = None,
+        tracer: Optional["EngineTracer"] = None,
+        registry: Optional[MetricsRegistry] = None,
+        enabled: bool = False,
+    ) -> None:
+        if enabled and (env is None or tracer is None):
+            raise AortaError(
+                "enabled observability needs an environment and a tracer")
+        self.env = env
+        self.tracer = tracer
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self.enabled = enabled
+        #: Innermost-last stack of open spans (dynamic nesting).
+        self._open: List[SpanContext] = []
+        self._next_span_id = 1
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def span(self, name: str, *,
+             parent: Optional["SpanContext"] = None,
+             detached: bool = False, **labels: Any):
+        """Open a span; use as ``with obs.span("dispatch.batch", ...):``.
+
+        ``parent=`` pins the parent explicitly and keeps the span off
+        the nesting stack; ``detached=True`` takes the parent from the
+        stack but also stays off it. Both exist for spans whose
+        lifetime interleaves with concurrent processes (see module
+        docstring); plain calls nest.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        rendered = {str(k): str(v) for k, v in labels.items()}
+        collisions = RESERVED_SPAN_FIELDS.intersection(rendered)
+        if collisions:
+            raise AortaError(
+                f"span label(s) {sorted(collisions)} collide with "
+                f"reserved span fields")
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        if isinstance(parent, SpanContext):
+            parent_id = parent.span_id
+            nested = False
+        else:
+            parent_id = self._open[-1].span_id if self._open else 0
+            nested = not detached
+        context = SpanContext(self, span_id, name, rendered, parent_id,
+                              nested)
+        if nested:
+            self._open.append(context)
+        return context
+
+    def _close_span(self, context: SpanContext) -> None:
+        if context._nested:
+            # Remove by identity: interleaved sim processes may close
+            # spans out of stack order.
+            for index in range(len(self._open) - 1, -1, -1):
+                if self._open[index] is context:
+                    del self._open[index]
+                    break
+        now = self.env.now
+        self.tracer.record(
+            now, "span", span=context.span_id, parent=context.parent_id,
+            name=context.name, start=context.started_at, **context.labels)
+        self.registry.histogram(
+            "span.seconds", name=context.name).observe(
+                now - context.started_at)
+
+    # ------------------------------------------------------------------
+    # Metrics pass-through (guarded)
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1.0, /,
+            **labels: Any) -> None:
+        if self.enabled:
+            self.registry.counter(name, **labels).inc(amount)
+
+    def observe(self, name: str, value: float, /,
+                **labels: Any) -> None:
+        if self.enabled:
+            self.registry.histogram(name, **labels).observe(value)
+
+    def set_gauge(self, name: str, value: float, /,
+                  **labels: Any) -> None:
+        if self.enabled:
+            self.registry.gauge(name, **labels).set(value)
+
+
+#: Shared disabled instance: the default for components constructed
+#: without an engine (bare DeviceLockManager, Transport, ...).
+NULL_OBS = Observability()

@@ -11,13 +11,16 @@ and the replay logic).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional
 
 from repro.errors import SchedulingError
 from repro.scheduling.base import Schedule
 from repro.scheduling.problem import Problem
 from repro.sim import Environment
 from repro.sync.locks import DeviceLockManager, LockToken
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.spans import Observability
 
 
 @dataclass
@@ -30,8 +33,15 @@ class ExecutionResult:
 
 
 def execute_schedule(problem: Problem, schedule: Schedule,
-                     *, use_actual: bool = True) -> ExecutionResult:
-    """Run a schedule on a fresh kernel; returns measured timings."""
+                     *, use_actual: bool = True,
+                     obs: Optional["Observability"] = None) -> ExecutionResult:
+    """Run a schedule on a fresh kernel; returns measured timings.
+
+    ``obs`` receives metrics only (no spans): this executor runs on its
+    own local kernel whose clock is unrelated to an engine's, so span
+    timestamps would be meaningless there while counts and virtual-time
+    durations remain well-defined.
+    """
     schedule.validate(problem)
     env = Environment()
     locks = DeviceLockManager(env)
@@ -64,4 +74,14 @@ def execute_schedule(problem: Problem, schedule: Schedule,
     if missing:  # pragma: no cover - defensive
         raise SchedulingError(f"execution lost requests: {sorted(missing)}")
     result.makespan = max(result.completion_times.values(), default=0.0)
+    if obs is not None:
+        obs.inc("scheduling.executions", algorithm=schedule.algorithm)
+        obs.inc("scheduling.executed_requests",
+                len(result.completion_times),
+                algorithm=schedule.algorithm)
+        obs.observe("scheduling.executed_makespan_seconds",
+                    result.makespan, algorithm=schedule.algorithm)
+        for seconds in result.device_busy.values():
+            obs.observe("scheduling.device_busy_seconds", seconds,
+                        algorithm=schedule.algorithm)
     return result

@@ -14,10 +14,14 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, Optional, Set
+from typing import TYPE_CHECKING, Any, Dict, Generator, Optional, Set
 
 from repro.errors import SchedulingError
+from repro.obs.spans import NULL_OBS
 from repro.sim import Environment, SimLock
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.spans import Observability
 
 _token_counter = itertools.count(1)
 
@@ -33,8 +37,10 @@ class LockToken:
 class DeviceLockManager:
     """Per-device mutual exclusion for action execution."""
 
-    def __init__(self, env: Environment) -> None:
+    def __init__(self, env: Environment,
+                 obs: Optional["Observability"] = None) -> None:
         self.env = env
+        self.obs = obs if obs is not None else NULL_OBS
         self._locks: Dict[str, SimLock] = {}
         #: Total lock acquisitions, for utilization reporting.
         self.acquisitions = 0
@@ -65,8 +71,13 @@ class DeviceLockManager:
         lock = self._lock_for(device_id)
         if lock.locked:
             self.contended_acquisitions += 1
+            self.obs.inc("lock.contended", device=device_id)
         self.acquisitions += 1
+        self.obs.inc("lock.acquisitions", device=device_id)
+        waited_from = self.env.now
         yield lock.acquire(token)
+        self.obs.observe("lock.wait_seconds", self.env.now - waited_from,
+                         device=device_id)
         if lease_seconds is not None:
             self.env.process(self._lease_watchdog(device_id, token,
                                                   lease_seconds))
@@ -93,6 +104,7 @@ class DeviceLockManager:
         if not grant.triggered:  # pragma: no cover - defensive
             raise SchedulingError("uncontended acquire did not grant")
         self.acquisitions += 1
+        self.obs.inc("lock.acquisitions", device=device_id)
         return True
 
     def release(self, device_id: str, token: LockToken) -> None:
@@ -119,6 +131,7 @@ class DeviceLockManager:
         evicted = self._lock_for(device_id).force_release()
         if evicted is not None:
             self.recoveries += 1
+            self.obs.inc("lock.recoveries", device=device_id)
             self._recovered_tokens.add(evicted)
         return evicted
 

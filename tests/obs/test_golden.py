@@ -1,0 +1,98 @@
+"""Golden-trace conformance tests.
+
+Each canonical scenario is run live and diffed against its checked-in
+golden dump. Because the clock is virtual and every RNG is seeded, any
+difference is a behaviour change — intentional ones are recorded with
+``UPDATE_GOLDENS=1`` (see tests/obs/golden.py).
+"""
+
+import json
+
+import pytest
+
+from repro.actions.request import ActionRequest
+from tests.obs.golden import (
+    assert_golden,
+    diff_dumps,
+    dump_engine,
+    load_golden,
+    render_diff,
+)
+from tests.obs.scenarios import (
+    continuous_outage_scenario,
+    snapshot_scenario,
+)
+
+
+class TestConformance:
+    def test_snapshot_scenario_matches_golden(self):
+        engine = snapshot_scenario(observability=True)
+        assert_golden("snapshot_obs", dump_engine(engine))
+
+    def test_continuous_outage_scenario_matches_golden(self):
+        engine = continuous_outage_scenario(observability=True)
+        assert_golden("continuous_outage_obs", dump_engine(engine))
+
+    def test_dump_is_independent_of_global_request_counter(self):
+        """Auto request ids come from a process-global counter; the
+        dump renumbers them, so history before the run is invisible."""
+        for _ in range(13):  # burn ids: req<N> offset shifts by 13
+            ActionRequest(action_name="photo", arguments={},
+                          created_at=0.0, candidates=("cam1",))
+        engine = snapshot_scenario(observability=True)
+        assert_golden("snapshot_obs", dump_engine(engine))
+
+    def test_dump_excludes_wallclock_metrics(self):
+        engine = snapshot_scenario(observability=True)
+        raw = engine.metrics()
+        assert any("wallclock" in key
+                   for key in raw["histograms"]), \
+            "scenario no longer emits a wallclock metric; update test"
+        dump = dump_engine(engine)
+        for section in dump["metrics"].values():
+            assert not any("wallclock" in key for key in section)
+
+    def test_dump_round_trips_through_json(self):
+        dump = dump_engine(snapshot_scenario(observability=True))
+        assert json.loads(json.dumps(dump, sort_keys=True)) \
+            == json.loads(json.dumps(dump, sort_keys=True))
+
+
+class TestDiffing:
+    def test_identical_dumps_diff_empty(self):
+        golden = load_golden("snapshot_obs")
+        assert golden is not None
+        assert diff_dumps(golden, golden) == []
+
+    def test_perturbation_produces_readable_delta(self):
+        """A single corrupted field yields a precise, human-readable
+        diff naming the path and both values."""
+        golden = load_golden("snapshot_obs")
+        assert golden is not None
+        perturbed = json.loads(json.dumps(golden))
+        perturbed["statistics"]["requests_serviced"] = 999
+        del perturbed["trace"][0]
+        perturbed["metrics"]["counters"]["obs.bogus"] = 1.0
+
+        differences = diff_dumps(golden, perturbed)
+        assert differences
+        rendered = render_diff("snapshot_obs", differences)
+        assert "statistics.requests_serviced" in rendered
+        assert "999" in rendered
+        assert "entries" in rendered          # the trace length line
+        assert "obs.bogus" in rendered
+        assert "only in actual" in rendered
+
+        with pytest.raises(AssertionError, match="snapshot_obs"):
+            assert_golden("snapshot_obs", perturbed)
+
+    def test_diff_respects_limit(self):
+        left = {"k": list(range(100))}
+        right = {"k": [x + 1 for x in range(100)]}
+        differences = diff_dumps(left, right, limit=10)
+        assert len(differences) == 11
+        assert differences[-1].startswith("... and ")
+
+    def test_type_change_is_a_difference(self):
+        assert diff_dumps({"a": 1}, {"a": 1.0}) \
+            == ["a: golden 1 != actual 1.0"]
