@@ -35,6 +35,12 @@ from repro.devices import (
     SensorStimulus,
 )
 from repro.geometry import Point
+from repro.runtime import (
+    RealtimeRuntime,
+    Runtime,
+    VirtualRuntime,
+    create_runtime,
+)
 from repro.sim import Environment
 
 __version__ = "1.0.0"
@@ -48,8 +54,12 @@ __all__ = [
     "MobilePhone",
     "PanTiltZoomCamera",
     "Point",
+    "RealtimeRuntime",
     "RetryPolicy",
+    "Runtime",
     "SensorMote",
     "SensorStimulus",
+    "VirtualRuntime",
+    "create_runtime",
     "__version__",
 ]

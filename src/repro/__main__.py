@@ -15,13 +15,13 @@ import repro
 from repro import (
     AortaEngine,
     EngineConfig,
-    Environment,
     PanTiltZoomCamera,
     Point,
     SensorMote,
     SensorStimulus,
 )
 from repro.obs import metrics_to_json, metrics_to_text, span_tree_text
+from repro.runtime import RUNTIME_NAMES
 
 BANNER = f"""Aorta {repro.__version__} — pervasive query processing
 Reproduction of Xue, Luo, Ni: "Systems Support for Pervasive Query
@@ -29,11 +29,20 @@ Processing" (ICDCS 2005). See README.md, DESIGN.md, EXPERIMENTS.md.
 """
 
 
-def _demo_engine(*, observability: bool = False) -> AortaEngine:
-    """The Figure 1 scenario, built but not yet run."""
-    env = Environment()
-    config = EngineConfig(observability=observability)
-    engine = AortaEngine(env, config=config)
+def _demo_engine(*, observability: bool = False,
+                 runtime: str = "virtual",
+                 time_scale: float = 1.0) -> AortaEngine:
+    """The Figure 1 scenario, built but not yet run.
+
+    ``runtime="realtime"`` paces the same scenario against the wall
+    clock: ``time_scale=1.0`` replays its 30 runtime seconds in 30 real
+    seconds; ``time_scale=0`` fires timers immediately, reproducing the
+    virtual run exactly.
+    """
+    config = EngineConfig(observability=observability,
+                          runtime=runtime, time_scale=time_scale)
+    engine = AortaEngine(config=config)
+    env = engine.env
     engine.add_device(PanTiltZoomCamera(env, "cam1", Point(0, 0)))
     engine.add_device(PanTiltZoomCamera(env, "cam2", Point(20, 0),
                                         facing=180.0))
@@ -50,9 +59,11 @@ def _demo_engine(*, observability: bool = False) -> AortaEngine:
     return engine
 
 
-def run_demo() -> int:
+def run_demo(*, runtime: str = "virtual",
+             time_scale: float = 1.0) -> int:
     """The Figure 1 snapshot query in one shot."""
-    engine = _demo_engine()
+    engine = _demo_engine(runtime=runtime, time_scale=time_scale)
+    print(f"Runtime backend: {engine.env.backend_name}")
     print("Trace of the run:")
     print(engine.tracer.tail())
     request = engine.completed_requests[0]
@@ -81,6 +92,14 @@ def main(argv: list[str] | None = None) -> int:
         formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--demo", action="store_true",
                         help="run the Figure 1 demo scenario")
+    parser.add_argument("--runtime", choices=RUNTIME_NAMES,
+                        default="virtual",
+                        help="runtime backend for --demo: virtual "
+                             "(instant) or realtime (wall-clock paced)")
+    parser.add_argument("--time-scale", type=float, default=1.0,
+                        help="realtime pacing: wall seconds per runtime "
+                             "second (0 = fire timers immediately; "
+                             "default 1.0)")
     parser.add_argument("--version", action="store_true",
                         help="print the version and exit")
     subcommands = parser.add_subparsers(dest="command")
@@ -101,7 +120,7 @@ def main(argv: list[str] | None = None) -> int:
         return run_metrics(as_json=args.json, spans=args.spans)
     print(BANNER)
     if args.demo:
-        return run_demo()
+        return run_demo(runtime=args.runtime, time_scale=args.time_scale)
     print("Run with --demo for the Figure 1 scenario, or see examples/.")
     return 0
 

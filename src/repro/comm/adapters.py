@@ -20,7 +20,7 @@ from repro.errors import CommunicationError, DeviceError
 from repro.devices.base import Device, OperationOutcome
 from repro.network.message import Message, Response
 from repro.network.transport import Connection, Transport
-from repro.sim import Environment
+from repro.runtime import Runtime
 from repro.sim.process import Process
 
 
@@ -33,7 +33,7 @@ class BaseCommunicator:
     composite ``request()`` is the common send-then-receive pattern.
     """
 
-    def __init__(self, env: Environment, transport: Transport,
+    def __init__(self, env: Runtime, transport: Transport,
                  device: Device, timeout: float) -> None:
         if timeout <= 0:
             raise CommunicationError(f"timeout must be positive, got {timeout}")

@@ -24,7 +24,7 @@ from repro.network.link import LinkModel
 from repro.network.transport import Transport
 from repro.profiles.cost_table import CostTable
 from repro.profiles.schema import DeviceCatalog
-from repro.sim import Environment
+from repro.runtime import Runtime
 
 
 @dataclass
@@ -54,7 +54,7 @@ class CommunicationLayer:
 
     def __init__(
         self,
-        env: Environment,
+        env: Runtime,
         *,
         registry: Optional[DeviceRegistry] = None,
         links: Optional[Dict[str, LinkModel]] = None,

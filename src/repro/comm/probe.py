@@ -19,7 +19,7 @@ from repro.devices.base import Device
 from repro.network.message import Message
 from repro.network.transport import Transport
 from repro.obs.spans import NULL_OBS
-from repro.sim import Environment
+from repro.runtime import Runtime
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.devices.health import DeviceHealthTracker
@@ -63,7 +63,7 @@ class Prober:
 
     def __init__(
         self,
-        env: Environment,
+        env: Runtime,
         transport: Transport,
         timeouts: Optional[Dict[str, float]] = None,
     ) -> None:

@@ -22,7 +22,7 @@ from repro.comm.adapters import ADAPTER_CLASSES, BaseCommunicator
 from repro.comm.tuples import DeviceTuple
 from repro.network.transport import Transport
 from repro.profiles.schema import DeviceCatalog
-from repro.sim import Environment
+from repro.runtime import Runtime
 
 
 class ScanOperator:
@@ -37,7 +37,7 @@ class ScanOperator:
 
     def __init__(
         self,
-        env: Environment,
+        env: Runtime,
         transport: Transport,
         registry: DeviceRegistry,
         catalog: DeviceCatalog,

@@ -14,6 +14,11 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 #: Scheduler names accepted by EngineConfig.scheduler.
 SCHEDULER_NAMES = ("LERFA+SRFE", "SRFAE", "LS", "SA", "RANDOM")
 
+#: Runtime backend names accepted by EngineConfig.runtime (mirrors
+#: repro.runtime.RUNTIME_NAMES; duplicated to keep config importable
+#: without the runtime package).
+RUNTIME_NAMES = ("virtual", "realtime")
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -113,6 +118,15 @@ class EngineConfig:
     #: default; the disabled path is byte-identical to an engine built
     #: before the observability layer existed (benchmark-gated).
     observability: bool = False
+    #: Runtime backend the engine builds when no explicit runtime is
+    #: passed: "virtual" (discrete-event, default) or "realtime"
+    #: (wall-clock paced; see time_scale).
+    runtime: str = "virtual"
+    #: Realtime pacing: wall seconds per runtime second. 0 fires timers
+    #: immediately (deterministic smoke path, trace-identical to the
+    #: virtual backend); 1.0 runs in real seconds. Ignored by the
+    #: virtual backend.
+    time_scale: float = 1.0
 
     def __post_init__(self) -> None:
         if self.poll_interval <= 0:
@@ -127,6 +141,13 @@ class EngineConfig:
         if self.lock_lease_seconds is not None \
                 and self.lock_lease_seconds <= 0:
             raise AortaError("lock_lease_seconds must be positive")
+        if self.runtime not in RUNTIME_NAMES:
+            raise AortaError(
+                f"unknown runtime {self.runtime!r}; expected one of "
+                f"{RUNTIME_NAMES}"
+            )
+        if self.time_scale < 0:
+            raise AortaError("time_scale must be non-negative")
 
     @property
     def synchronization(self) -> bool:

@@ -26,7 +26,7 @@ from repro.query.expressions import (
     evaluate,
 )
 from repro.query.functions import FunctionRegistry
-from repro.sim import Environment
+from repro.runtime import Runtime
 from repro.core.config import EngineConfig
 from repro.core.dispatcher import Dispatcher
 
@@ -56,7 +56,7 @@ class ContinuousQueryExecutor:
 
     def __init__(
         self,
-        env: Environment,
+        env: Runtime,
         comm: CommunicationLayer,
         functions: FunctionRegistry,
         dispatcher: Dispatcher,

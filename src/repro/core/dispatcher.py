@@ -41,8 +41,9 @@ from repro.scheduling import (
     SrfaeScheduler,
 )
 from repro.obs.spans import NULL_OBS, Observability, SpanContext
-from repro.sim import Environment, Event
-from repro.sim.rng import derive_seed
+from repro.runtime import Runtime
+from repro.sim import Event
+from repro.sim.rng import component_seed
 from repro.sync.locks import DeviceLockManager, LockToken
 from repro.core.config import EngineConfig
 
@@ -136,7 +137,7 @@ class Dispatcher:
 
     def __init__(
         self,
-        env: Environment,
+        env: Runtime,
         comm: CommunicationLayer,
         cost_model: CostModel,
         locks: DeviceLockManager,
@@ -169,7 +170,7 @@ class Dispatcher:
         #: Deterministic jitter stream for retry backoff, derived from
         #: the engine seed so fault-tolerant runs replay exactly.
         self._retry_rng = random.Random(
-            derive_seed(config.scheduler_seed, "dispatcher:retry-jitter"))
+            component_seed(config.scheduler_seed, "dispatcher:retry-jitter"))
         #: All requests that went through dispatch, in completion order.
         self.completed: List[ActionRequest] = []
         self.reports: List[DispatchReport] = []

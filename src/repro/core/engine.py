@@ -35,7 +35,8 @@ from repro.query.ast import (
 from repro.query.catalog import SchemaCatalog
 from repro.query.functions import FunctionRegistry, install_standard_functions
 from repro.query.parser import parse
-from repro.sim import Environment
+from repro.runtime import Runtime, create_runtime
+from repro.sim.rng import component_seed
 from repro.sync.locks import DeviceLockManager
 from repro.core.config import EngineConfig
 from repro.core.continuous import ContinuousQueryExecutor, RegisteredQuery
@@ -58,16 +59,24 @@ class AortaEngine:
 
     def __init__(
         self,
-        env: Optional[Environment] = None,
+        env: Optional[Runtime] = None,
         *,
         config: Optional[EngineConfig] = None,
         links: Optional[Dict[str, LinkModel]] = None,
         seed: int = 0,
     ) -> None:
-        self.env = env or Environment()
         self.config = config or EngineConfig()
-        self.comm = CommunicationLayer(self.env, links=links,
-                                       rng=random.Random(seed))
+        #: The runtime backend everything runs on. An explicit ``env``
+        #: wins; otherwise the config's ``runtime``/``time_scale``
+        #: selection builds one (default: virtual time).
+        self.env = env if env is not None else create_runtime(
+            self.config.runtime, time_scale=self.config.time_scale)
+        #: Master seed; every component RNG is a named substream of it
+        #: (see repro.sim.rng.component_seed).
+        self.seed = seed
+        self.comm = CommunicationLayer(
+            self.env, links=links,
+            rng=random.Random(component_seed(seed, "comm:transport")))
         register_builtin_types(self.comm)
 
         self.schema = SchemaCatalog()
@@ -299,10 +308,17 @@ class AortaEngine:
         self.dispatcher.start()
         self.continuous.start()
 
-    def run(self, until: float) -> float:
-        """Advance the simulation to virtual time ``until``."""
+    def run(self, until: float,
+            max_events: Optional[int] = None) -> float:
+        """Advance the runtime to time ``until``.
+
+        ``max_events`` caps how many events this call may process;
+        exceeding it raises :class:`~repro.errors.SimulationError` with
+        queue diagnostics instead of looping forever on a runaway
+        process (useful as a watchdog in tests and services).
+        """
         with self.obs.span("engine.run"):
-            stopped = self.env.run(until=until)
+            stopped = self.env.run(until=until, max_events=max_events)
         self.obs.inc("engine.runs")
         return stopped
 
@@ -317,7 +333,7 @@ class AortaEngine:
             raise QueryError("run_select() only executes SELECT statements")
         rows: List[Tuple[Any, ...]] = []
 
-        def runner(env: Environment) -> Generator[Any, Any, None]:
+        def runner(env: Runtime) -> Generator[Any, Any, None]:
             result = yield from plan.execute()
             rows.extend(result)
 

@@ -22,7 +22,7 @@ from typing import Any, Callable, Generator, List, Sequence, Tuple
 from repro.errors import ProfileError
 from repro.devices.camera import HeadPosition, PanTiltZoomCamera
 from repro.profiles.cost_table import AtomicOperationCost, CostTable
-from repro.sim import Environment
+from repro.runtime import Runtime
 
 #: A measurement routine: runs one trial at ``quantity`` and returns
 #: nothing; the calibrator times it.
@@ -57,7 +57,7 @@ def _fit_line(points: Sequence[Tuple[float, float]]) -> Tuple[float, float]:
 class Calibrator:
     """Times atomic operations on a device and fits cost entries."""
 
-    def __init__(self, env: Environment) -> None:
+    def __init__(self, env: Runtime) -> None:
         self.env = env
         self.measurements: List[Measurement] = []
 
@@ -71,7 +71,7 @@ class Calibrator:
         start_box: List[float] = []
         result: List[Measurement] = []
 
-        def proc(env: Environment) -> Generator[Any, Any, None]:
+        def proc(env: Runtime) -> Generator[Any, Any, None]:
             start_box.append(env.now)
             yield from runner(quantity)
             result.append(Measurement(
@@ -121,7 +121,7 @@ class Calibrator:
 
 
 def calibrate_camera(
-    env: Environment, camera: PanTiltZoomCamera
+    env: Runtime, camera: PanTiltZoomCamera
 ) -> CostTable:
     """Measure a camera's atomic-operation costs from scratch.
 

@@ -8,7 +8,7 @@ from typing import Any, Dict, Generator
 
 from repro.errors import DeviceDownError, DeviceError
 from repro.geometry import Point
-from repro.sim import Environment
+from repro.runtime import Runtime
 
 
 class DeviceState(enum.Enum):
@@ -60,7 +60,7 @@ class Device:
 
     def __init__(
         self,
-        env: Environment,
+        env: Runtime,
         device_id: str,
         location: Point,
     ) -> None:

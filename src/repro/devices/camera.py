@@ -26,7 +26,7 @@ from typing import Any, Dict, Generator, List, Optional
 from repro.errors import ActionFailedError, DeviceDownError, DeviceError
 from repro.geometry import Point, ViewSector, angle_difference, normalize_angle
 from repro.devices.base import Device
-from repro.sim import Environment
+from repro.runtime import Runtime
 
 #: Photo sizes supported by the capture operations.
 PHOTO_SIZES = ("small", "medium", "large")
@@ -169,7 +169,7 @@ class PanTiltZoomCamera(Device):
 
     def __init__(
         self,
-        env: Environment,
+        env: Runtime,
         device_id: str,
         location: Point,
         *,

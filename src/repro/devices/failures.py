@@ -14,7 +14,7 @@ from typing import List, Optional
 
 from repro.errors import DeviceError
 from repro.devices.base import Device
-from repro.sim import Environment
+from repro.runtime import Runtime
 
 
 @dataclass(frozen=True)
@@ -37,7 +37,7 @@ class OutageSpec:
 class FailureInjector:
     """Schedules outage episodes onto simulated devices."""
 
-    def __init__(self, env: Environment) -> None:
+    def __init__(self, env: Runtime) -> None:
         self.env = env
         self.scheduled: List[OutageSpec] = []
 

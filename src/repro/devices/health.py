@@ -26,7 +26,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.errors import DeviceError
 from repro.obs.spans import NULL_OBS
-from repro.sim import Environment
+from repro.runtime import Runtime
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.core.tracing import EngineTracer
@@ -91,7 +91,7 @@ class DeviceHealthTracker:
 
     def __init__(
         self,
-        env: Environment,
+        env: Runtime,
         policy: Optional[HealthPolicy] = None,
         tracer: Optional["EngineTracer"] = None,
         obs: Optional["Observability"] = None,

@@ -15,7 +15,7 @@ from typing import Any, Dict, Generator, List
 from repro.errors import CommunicationError, DeviceError
 from repro.geometry import Point
 from repro.devices.base import Device
-from repro.sim import Environment
+from repro.runtime import Runtime
 
 #: Seconds to deliver a plain SMS.
 SMS_SECONDS = 0.8
@@ -48,7 +48,7 @@ class MobilePhone(Device):
 
     def __init__(
         self,
-        env: Environment,
+        env: Runtime,
         device_id: str,
         location: Point,
         *,

@@ -21,7 +21,7 @@ from typing import Any, Dict, Generator, List, Optional
 from repro.errors import CommunicationError, DeviceError
 from repro.geometry import Point
 from repro.devices.base import Device
-from repro.sim import Environment
+from repro.runtime import Runtime
 
 #: Baseline sensory readings of an idle mote.
 BASELINES = {
@@ -78,7 +78,7 @@ class SensorMote(Device):
 
     def __init__(
         self,
-        env: Environment,
+        env: Runtime,
         device_id: str,
         location: Point,
         *,

@@ -21,7 +21,7 @@ from repro.devices.base import Device
 from repro.network.link import DEFAULT_LINKS, LinkModel
 from repro.network.message import Message, Response
 from repro.obs.spans import NULL_OBS
-from repro.sim import Environment
+from repro.runtime import Runtime
 
 
 class Connection:
@@ -102,7 +102,7 @@ class Transport:
 
     def __init__(
         self,
-        env: Environment,
+        env: Runtime,
         *,
         links: Optional[Dict[str, LinkModel]] = None,
         rng: Optional[random.Random] = None,

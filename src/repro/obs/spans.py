@@ -1,8 +1,11 @@
-"""Virtual-time span tracing over the engine tracer.
+"""Runtime-time span tracing over the engine tracer.
 
-A span measures one named stretch of *virtual* time — a dispatch batch,
-a probe exchange, an action execution — with labels, a deterministic
-id, and a parent link to the innermost span open when it started. Spans
+A span measures one named stretch of *runtime* time — a dispatch batch,
+a probe exchange, an action execution — read from whatever runtime
+backend the engine runs on (``runtime.now``): virtual seconds on the
+discrete-event backend, paced seconds on the realtime backend. Each
+span carries labels, a deterministic id, and a parent link to the
+innermost span open when it started. Spans
 ride on :class:`~repro.core.tracing.EngineTracer`: closing a span emits
 one ordinary ``"span"`` trace record, so every existing trace consumer
 (filters, tails, the golden harness) sees spans with no new plumbing.
@@ -35,7 +38,7 @@ from repro.obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.core.tracing import EngineTracer
-    from repro.sim import Environment
+    from repro.runtime import Runtime
 
 #: Trace-record field names a span emits; label keys must not collide.
 RESERVED_SPAN_FIELDS = frozenset({"span", "parent", "name", "start"})
@@ -92,7 +95,7 @@ class Observability:
 
     def __init__(
         self,
-        env: Optional["Environment"] = None,
+        env: Optional["Runtime"] = None,
         tracer: Optional["EngineTracer"] = None,
         registry: Optional[MetricsRegistry] = None,
         enabled: bool = False,

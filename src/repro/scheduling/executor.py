@@ -14,9 +14,9 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Generator, List, Optional
 
 from repro.errors import SchedulingError
+from repro.runtime import Runtime, create_runtime
 from repro.scheduling.base import Schedule
 from repro.scheduling.problem import Problem
-from repro.sim import Environment
 from repro.sync.locks import DeviceLockManager, LockToken
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -34,16 +34,18 @@ class ExecutionResult:
 
 def execute_schedule(problem: Problem, schedule: Schedule,
                      *, use_actual: bool = True,
-                     obs: Optional["Observability"] = None) -> ExecutionResult:
-    """Run a schedule on a fresh kernel; returns measured timings.
+                     obs: Optional["Observability"] = None,
+                     runtime: Optional[Runtime] = None) -> ExecutionResult:
+    """Run a schedule on a fresh runtime; returns measured timings.
 
     ``obs`` receives metrics only (no spans): this executor runs on its
-    own local kernel whose clock is unrelated to an engine's, so span
+    own local runtime whose clock is unrelated to an engine's, so span
     timestamps would be meaningless there while counts and virtual-time
-    durations remain well-defined.
+    durations remain well-defined. ``runtime`` injects a backend (it
+    must be idle and at t=0); the default is a fresh virtual one.
     """
     schedule.validate(problem)
-    env = Environment()
+    env = runtime if runtime is not None else create_runtime("virtual")
     locks = DeviceLockManager(env)
     cost = (problem.cost_model.actual if use_actual
             else problem.cost_model.estimate)

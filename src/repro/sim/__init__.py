@@ -1,9 +1,19 @@
-"""Discrete-event simulation kernel.
+"""Discrete-event simulation core and its runtime backends.
 
-A small, dependency-free kernel in the style of SimPy: generator-based
-processes scheduled on a virtual clock. Aorta's simulated devices and
-networks run on this kernel so that experiments measuring seconds of
-device time execute in milliseconds of wall time.
+A small, dependency-free engine core in the style of SimPy:
+generator-based processes scheduled over an event queue
+(:class:`~repro.sim.base.BaseRuntime`), with two interchangeable
+backends deciding how time passes:
+
+* :class:`Environment` — virtual time (the default): the clock jumps
+  from event to event, so experiments measuring seconds of device time
+  execute in milliseconds of wall time.
+* :class:`RealtimeRuntime` — wall-clock time: the same processes are
+  paced against ``time.monotonic`` under a configurable ``time_scale``
+  (``0`` ⇒ fire immediately, byte-identical to virtual).
+
+Components should program against the :class:`~repro.runtime.Runtime`
+protocol rather than either concrete backend.
 
 Public surface::
 
@@ -14,14 +24,17 @@ Public surface::
     env.run()
 """
 
+from repro.sim.base import BaseRuntime
 from repro.sim.clock import VirtualClock
 from repro.sim.events import Event, EventQueue, ScheduledItem, Timeout
 from repro.sim.kernel import Environment
 from repro.sim.process import Interrupt, Process
+from repro.sim.realtime import RealtimeRuntime
 from repro.sim.resources import FifoResource, SimLock
 from repro.sim.rng import RandomStreams
 
 __all__ = [
+    "BaseRuntime",
     "Environment",
     "Event",
     "EventQueue",
@@ -29,6 +42,7 @@ __all__ = [
     "Interrupt",
     "Process",
     "RandomStreams",
+    "RealtimeRuntime",
     "ScheduledItem",
     "SimLock",
     "Timeout",

@@ -1,0 +1,169 @@
+"""The shared engine core behind every runtime backend.
+
+:class:`BaseRuntime` owns everything the two backends have in common —
+the event queue, event/timeout/process construction, scheduling, the
+step loop and quiescence detection. What *differs* between backends is
+only how the passage of time is realised, expressed through one hook:
+:meth:`BaseRuntime._pace`, called with the timestamp the clock is about
+to advance to. The virtual backend (:class:`~repro.sim.kernel.
+Environment`) jumps instantly; the wall-clock backend (:class:`~repro.
+sim.realtime.RealtimeRuntime`) sleeps until the scaled wall deadline
+first.
+
+Because *all* process/event semantics live here, the two backends are
+behaviourally identical by construction: at ``time_scale=0`` the
+realtime backend produces byte-identical traces to the virtual one
+(asserted forever by ``tests/runtime/test_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.events import PRIORITY_NORMAL, Event, EventQueue, Timeout
+from repro.sim.process import Process, ProcessGenerator
+
+
+class BaseRuntime:
+    """Clock + event queue + process scheduler, backend-agnostic.
+
+    One runtime underlies one experiment: all devices, network links
+    and engine loops share it, so their relative timing is globally
+    consistent. Subclasses choose how time passes by overriding
+    :meth:`_pace`.
+    """
+
+    #: Name the factory and diagnostics know this backend by.
+    backend_name = "base"
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._clock = VirtualClock(start)
+        self._queue = EventQueue()
+
+    @property
+    def now(self) -> float:
+        """Current runtime time in seconds (virtual for both backends:
+        the realtime backend paces the same timeline against the wall
+        clock rather than keeping a separate one)."""
+        return self._clock.now
+
+    # ------------------------------------------------------------------
+    # Event construction helpers
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` runtime seconds from now."""
+        return Timeout(self, delay, value)
+
+    def sleep(self, delay: float) -> Timeout:
+        """Alias of :meth:`timeout` reading naturally in process code:
+        ``yield runtime.sleep(2.0)``."""
+        return self.timeout(delay)
+
+    def process(self, generator: ProcessGenerator) -> Process:
+        """Start ``generator`` as a concurrent process."""
+        return Process(self, generator)
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL
+    ) -> None:
+        """Enqueue ``event`` to have its callbacks run after ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._queue.push(self.now + delay, priority, event)
+
+    def step(self) -> None:
+        """Process the single next event in the queue."""
+        item = self._queue.pop()
+        self._pace(item.time)
+        self._clock.advance_to(item.time)
+        event = item.event
+        event._processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not getattr(event, "_defused", False):
+            # A failed event that nobody waited on would otherwise vanish
+            # silently; surface it (Zen: errors should never pass silently).
+            raise event._value
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        *,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run until the queue drains or the clock reaches ``until``.
+
+        ``max_events`` bounds how many events may be processed in this
+        call; exceeding it raises :class:`SimulationError` carrying the
+        current time and a summary of the pending queue — the diagnostic
+        for a runaway process that would otherwise loop forever.
+
+        Returns the runtime time at which execution stopped.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"run until {until} is in the past (now={self.now})")
+        if max_events is not None and max_events < 0:
+            raise SimulationError(f"max_events must be >= 0, got {max_events}")
+        processed = 0
+        while len(self._queue):
+            if until is not None and self._queue.peek_time() > until:
+                self._pace(until)
+                self._clock.advance_to(until)
+                return self.now
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(
+                    f"event budget exhausted: processed {processed} events "
+                    f"by t={self.now:.6f} with {len(self._queue)} still "
+                    f"pending ({self._pending_summary()}); a process is "
+                    f"likely scheduling work faster than it completes"
+                )
+            self.step()
+            processed += 1
+        if until is not None:
+            self._pace(until)
+            self._clock.advance_to(until)
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still waiting in the queue."""
+        return len(self._queue)
+
+    def _pending_summary(self, limit: int = 3) -> str:
+        """The next few pending events, rendered for error messages."""
+        head: List[Tuple[float, int, Event]] = [
+            (item.time, item.priority, item.event)
+            for item in self._queue.peek_items(limit)
+        ]
+        if not head:
+            return "queue empty"
+        rendered = ", ".join(
+            f"t={time:.6f} p={priority} {type(event).__name__}"
+            for time, priority, event in head
+        )
+        remainder = len(self._queue) - len(head)
+        if remainder > 0:
+            rendered += f", ... {remainder} more"
+        return f"next: {rendered}"
+
+    # ------------------------------------------------------------------
+    # Backend hook
+    # ------------------------------------------------------------------
+    def _pace(self, timestamp: float) -> None:
+        """Realise the passage of time up to ``timestamp``.
+
+        Called once before every clock advance (each processed event,
+        and the final advance of a bounded ``run``). The virtual
+        backend does nothing — time jumps; the realtime backend sleeps
+        until the scaled wall-clock deadline.
+        """

@@ -9,7 +9,7 @@ from typing import TYPE_CHECKING, Any, Callable, Optional
 from repro.errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.sim.kernel import Environment
+    from repro.sim.base import BaseRuntime
 
 #: Default priority for ordinary events. Lower sorts earlier at equal time.
 PRIORITY_NORMAL = 1
@@ -25,7 +25,7 @@ class Event:
     scheduled virtual time.
     """
 
-    def __init__(self, env: "Environment") -> None:
+    def __init__(self, env: "BaseRuntime") -> None:
         self.env = env
         self.callbacks: list[Callable[["Event"], None]] = []
         self._value: Any = None
@@ -92,7 +92,7 @@ class Event:
 class Timeout(Event):
     """An event that fires automatically ``delay`` seconds in the future."""
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+    def __init__(self, env: "BaseRuntime", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
         super().__init__(env)
@@ -137,3 +137,10 @@ class EventQueue:
         if not self._heap:
             raise SimulationError("peek on an empty event queue")
         return self._heap[0].time
+
+    def peek_items(self, limit: int) -> list[ScheduledItem]:
+        """Up to ``limit`` next items in firing order, without removal.
+
+        Diagnostic helper for the run-budget error path; O(k log n).
+        """
+        return heapq.nsmallest(max(limit, 0), self._heap)

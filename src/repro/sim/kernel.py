@@ -1,16 +1,19 @@
-"""The simulation environment: clock + event queue + process scheduler."""
+"""The virtual-time backend: the classic discrete-event environment.
+
+All machinery — event queue, process scheduling, quiescence, run
+budgets — lives in :class:`~repro.sim.base.BaseRuntime`; this backend
+merely declines to pace, so the clock jumps instantly from event to
+event and experiments measuring seconds of device time execute in
+milliseconds of wall time. It is the default backend and the reference
+the realtime backend is equivalence-tested against.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Optional
-
-from repro.errors import SimulationError
-from repro.sim.clock import VirtualClock
-from repro.sim.events import PRIORITY_NORMAL, Event, EventQueue, Timeout
-from repro.sim.process import Process, ProcessGenerator
+from repro.sim.base import BaseRuntime
 
 
-class Environment:
+class Environment(BaseRuntime):
     """Coordinates virtual time and runs processes until quiescence.
 
     One :class:`Environment` underlies one experiment: all simulated
@@ -18,72 +21,7 @@ class Environment:
     timing is globally consistent.
     """
 
-    def __init__(self, start: float = 0.0) -> None:
-        self._clock = VirtualClock(start)
-        self._queue = EventQueue()
+    backend_name = "virtual"
 
-    @property
-    def now(self) -> float:
-        """Current virtual time in seconds."""
-        return self._clock.now
-
-    # ------------------------------------------------------------------
-    # Event construction helpers
-    # ------------------------------------------------------------------
-    def event(self) -> Event:
-        """A fresh, untriggered event."""
-        return Event(self)
-
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event that fires ``delay`` virtual seconds from now."""
-        return Timeout(self, delay, value)
-
-    def process(self, generator: ProcessGenerator) -> Process:
-        """Start ``generator`` as a concurrent process."""
-        return Process(self, generator)
-
-    # ------------------------------------------------------------------
-    # Scheduling and execution
-    # ------------------------------------------------------------------
-    def schedule(
-        self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL
-    ) -> None:
-        """Enqueue ``event`` to have its callbacks run after ``delay``."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self._queue.push(self.now + delay, priority, event)
-
-    def step(self) -> None:
-        """Process the single next event in the queue."""
-        item = self._queue.pop()
-        self._clock.advance_to(item.time)
-        event = item.event
-        event._processed = True
-        callbacks, event.callbacks = event.callbacks, []
-        for callback in callbacks:
-            callback(event)
-        if not event._ok and not getattr(event, "_defused", False):
-            # A failed event that nobody waited on would otherwise vanish
-            # silently; surface it (Zen: errors should never pass silently).
-            raise event._value
-
-    def run(self, until: Optional[float] = None) -> float:
-        """Run until the queue drains or the clock reaches ``until``.
-
-        Returns the virtual time at which execution stopped.
-        """
-        if until is not None and until < self.now:
-            raise SimulationError(f"run until {until} is in the past (now={self.now})")
-        while len(self._queue):
-            if until is not None and self._queue.peek_time() > until:
-                self._clock.advance_to(until)
-                return self.now
-            self.step()
-        if until is not None:
-            self._clock.advance_to(until)
-        return self.now
-
-    @property
-    def pending_events(self) -> int:
-        """Number of events still waiting in the queue."""
-        return len(self._queue)
+    def _pace(self, timestamp: float) -> None:
+        """Virtual time is free: advancing costs no wall time."""

@@ -8,7 +8,7 @@ from repro.errors import SimulationError
 from repro.sim.events import PRIORITY_URGENT, Event
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.sim.kernel import Environment
+    from repro.sim.base import BaseRuntime
 
 ProcessGenerator = Generator[Event, Any, Any]
 
@@ -34,7 +34,7 @@ class Process(Event):
     another process.
     """
 
-    def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
+    def __init__(self, env: "BaseRuntime", generator: ProcessGenerator) -> None:
         if not hasattr(generator, "send"):
             raise SimulationError(
                 "Process requires a generator; did you call the function?"

@@ -18,7 +18,8 @@ from typing import TYPE_CHECKING, Any, Dict, Generator, Optional, Set
 
 from repro.errors import SchedulingError
 from repro.obs.spans import NULL_OBS
-from repro.sim import Environment, SimLock
+from repro.runtime import Runtime
+from repro.sim import SimLock
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.obs.spans import Observability
@@ -37,7 +38,7 @@ class LockToken:
 class DeviceLockManager:
     """Per-device mutual exclusion for action execution."""
 
-    def __init__(self, env: Environment,
+    def __init__(self, env: Runtime,
                  obs: Optional["Observability"] = None) -> None:
         self.env = env
         self.obs = obs if obs is not None else NULL_OBS

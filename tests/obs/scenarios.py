@@ -38,14 +38,15 @@ def _config(observability: Optional[bool], **kwargs) -> EngineConfig:
     return EngineConfig(**kwargs)
 
 
-def snapshot_scenario(observability: Optional[bool] = None) -> AortaEngine:
+def snapshot_scenario(observability: Optional[bool] = None,
+                      env=None) -> AortaEngine:
     """The paper's Figure 1 snapshot: one stimulus, one photo.
 
     Two ceiling cameras cover a sensor mote; an acceleration spike at
     t=2s triggers the registered AQ once, and the cost-optimal camera
     takes the photo. Runs 30 virtual seconds.
     """
-    env = Environment()
+    env = env if env is not None else Environment()
     engine = AortaEngine(env, config=_config(observability), seed=0)
     engine.add_device(PanTiltZoomCamera(env, "cam1", Point(0, 0),
                                         ip_address="10.0.0.1"))
@@ -67,6 +68,7 @@ def snapshot_scenario(observability: Optional[bool] = None) -> AortaEngine:
 
 def continuous_outage_scenario(
     observability: Optional[bool] = None,
+    env=None,
 ) -> AortaEngine:
     """A continuous photo workload through injected camera outages.
 
@@ -77,7 +79,7 @@ def continuous_outage_scenario(
     readmitted on probation); cam2 crashes 14s..20s. Runs 70 virtual
     seconds; requests carry explicit ids r01.. so dumps are readable.
     """
-    env = Environment()
+    env = env if env is not None else Environment()
     config = _config(
         observability,
         probing=False,
@@ -152,7 +154,8 @@ FT_HEALTH = HealthPolicy(failure_threshold=3, quarantine_seconds=15.0,
                          backoff_factor=2.0, quarantine_max=120.0)
 
 
-def ft_scenario(observability: Optional[bool] = None) -> AortaEngine:
+def ft_scenario(observability: Optional[bool] = None,
+                env=None) -> AortaEngine:
     """The PR-2 fault-tolerance smoke scenario, exactly as benched.
 
     Eight cameras under Poisson-like random outages (seed 11) service a
@@ -160,7 +163,7 @@ def ft_scenario(observability: Optional[bool] = None) -> AortaEngine:
     probing off, retries, failover, quarantine and lock leases — the
     configuration of ``benchmarks/bench_fault_tolerance.py --smoke``.
     """
-    env = Environment()
+    env = env if env is not None else Environment()
     config = _config(observability, probing=False, retry=FT_RETRY,
                      health=FT_HEALTH, lock_lease_seconds=60.0)
     engine = AortaEngine(env, config=config, seed=0)

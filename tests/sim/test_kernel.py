@@ -246,3 +246,57 @@ def test_process_is_alive_lifecycle():
     assert p.is_alive
     env.run()
     assert not p.is_alive
+
+
+# ----------------------------------------------------------------------
+# Event budgets (runaway-process watchdog)
+# ----------------------------------------------------------------------
+def test_max_events_budget_stops_a_runaway_process():
+    env = Environment()
+
+    def runaway(env):
+        while True:  # never quiesces: each timeout schedules another
+            yield env.timeout(1.0)
+
+    env.process(runaway(env))
+    with pytest.raises(SimulationError) as excinfo:
+        env.run(max_events=50)
+    message = str(excinfo.value)
+    assert "event budget exhausted" in message
+    assert "processed 50 events" in message
+    assert "pending" in message and "next:" in message
+
+
+def test_max_events_budget_reports_the_current_time():
+    env = Environment()
+
+    def runaway(env):
+        while True:
+            yield env.timeout(2.0)
+
+    env.process(runaway(env))
+    with pytest.raises(SimulationError, match=r"t=\d+\.\d+"):
+        env.run(max_events=10)
+    assert env.now > 0  # the clock really advanced before the trip
+
+
+def test_max_events_budget_permits_terminating_runs():
+    env = Environment()
+    done = []
+
+    def proc(env):
+        for _ in range(5):
+            yield env.timeout(1.0)
+        done.append(env.now)
+
+    env.process(proc(env))
+    # Generous budget: the run quiesces long before the cap.
+    assert env.run(max_events=100) == 5.0
+    assert done == [5.0]
+    assert env.pending_events == 0
+
+
+def test_negative_max_events_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError, match="max_events"):
+        env.run(max_events=-1)
