@@ -31,16 +31,21 @@ Processing" (ICDCS 2005). See README.md, DESIGN.md, EXPERIMENTS.md.
 
 def _demo_engine(*, observability: bool = False,
                  runtime: str = "virtual",
-                 time_scale: float = 1.0) -> AortaEngine:
+                 time_scale: float = 1.0,
+                 fastpath: bool = False) -> AortaEngine:
     """The Figure 1 scenario, built but not yet run.
 
     ``runtime="realtime"`` paces the same scenario against the wall
     clock: ``time_scale=1.0`` replays its 30 runtime seconds in 30 real
     seconds; ``time_scale=0`` fires timers immediately, reproducing the
-    virtual run exactly.
+    virtual run exactly. ``fastpath`` switches on the comm fast path
+    (connection pool + status cache + concurrent dispatch).
     """
     config = EngineConfig(observability=observability,
-                          runtime=runtime, time_scale=time_scale)
+                          runtime=runtime, time_scale=time_scale,
+                          connection_pool=fastpath,
+                          status_cache=fastpath,
+                          concurrent_dispatch=fastpath)
     engine = AortaEngine(config=config)
     env = engine.env
     engine.add_device(PanTiltZoomCamera(env, "cam1", Point(0, 0)))
@@ -72,14 +77,33 @@ def run_demo(*, runtime: str = "virtual",
     return 0
 
 
-def run_metrics(*, as_json: bool = False, spans: bool = False) -> int:
-    """Run the demo with observability on; export what it measured."""
-    engine = _demo_engine(observability=True)
+def run_metrics(*, as_json: bool = False, spans: bool = False,
+                fastpath: bool = False) -> int:
+    """Run the demo with observability on; export what it measured.
+
+    With ``fastpath`` the comm fast path is enabled, so the snapshot
+    additionally carries the ``comm.pool.*`` and ``probe.cache.*``
+    counter families, and the text form appends a one-line summary of
+    each (JSON output stays pure metrics).
+    """
+    engine = _demo_engine(observability=True, fastpath=fastpath)
     snapshot = engine.metrics()
     if as_json:
         print(metrics_to_json(snapshot))
     else:
         print(metrics_to_text(snapshot))
+        if engine.pool is not None:
+            pool = engine.pool.stats()
+            print(f"\nconnection pool: {pool['hits']:.0f} hits / "
+                  f"{pool['misses']:.0f} misses "
+                  f"(hit rate {pool['hit_rate']:.0%}), "
+                  f"{pool['idle']:.0f} idle")
+        if engine.status_cache is not None:
+            cache = engine.status_cache.stats()
+            print(f"status cache: {cache['hits']:.0f} hits / "
+                  f"{cache['misses']:.0f} misses "
+                  f"(hit rate {cache['hit_rate']:.0%}), "
+                  f"{cache['invalidations']:.0f} invalidations")
     if spans:
         print("\nspan tree:")
         print(span_tree_text(engine.tracer))
@@ -112,12 +136,17 @@ def main(argv: list[str] | None = None) -> int:
                               "the text table")
     metrics.add_argument("--spans", action="store_true",
                          help="also print the virtual-time span tree")
+    metrics.add_argument("--fastpath", action="store_true",
+                         help="enable the comm fast path (connection "
+                              "pool + status cache + concurrent "
+                              "dispatch) and report its counters")
     args = parser.parse_args(argv)
     if args.version:
         print(repro.__version__)
         return 0
     if args.command == "metrics":
-        return run_metrics(as_json=args.json, spans=args.spans)
+        return run_metrics(as_json=args.json, spans=args.spans,
+                           fastpath=args.fastpath)
     print(BANNER)
     if args.demo:
         return run_demo(runtime=args.runtime, time_scale=args.time_scale)

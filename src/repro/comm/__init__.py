@@ -12,6 +12,12 @@ components, per the paper:
 
 The probing mechanism of Section 4 also lives here
 (:class:`Prober`), since a probe is a communication-layer exchange.
+
+The comm fast path adds two amortization layers on top (see DESIGN.md
+decision 10): :class:`ConnectionPool` reuses keep-alive connections
+across probes and executions, and :class:`DeviceStatusCache` lets the
+dispatcher skip probe exchanges for recently-seen devices under a
+per-type freshness TTL.
 """
 
 from repro.comm.adapters import (
@@ -21,15 +27,20 @@ from repro.comm.adapters import (
     SensorCommunicator,
 )
 from repro.comm.layer import CommunicationLayer, DeviceTypeRegistration
+from repro.comm.pool import ConnectionPool
 from repro.comm.probe import DEFAULT_TIMEOUTS, Prober, ProbeResult
 from repro.comm.scan import ScanOperator
+from repro.comm.status_cache import DEFAULT_STATUS_TTLS, DeviceStatusCache
 from repro.comm.tuples import DeviceTuple
 
 __all__ = [
     "BaseCommunicator",
     "CameraCommunicator",
     "CommunicationLayer",
+    "ConnectionPool",
+    "DEFAULT_STATUS_TTLS",
     "DEFAULT_TIMEOUTS",
+    "DeviceStatusCache",
     "DeviceTuple",
     "DeviceTypeRegistration",
     "PhoneCommunicator",

@@ -48,16 +48,30 @@ class BaseCommunicator:
     # The four basic methods
     # ------------------------------------------------------------------
     def connect(self) -> Generator[Any, Any, None]:
-        """Open the control channel (no-op when already open)."""
+        """Open the control channel (no-op when already open).
+
+        Checkout goes through :meth:`Transport.open`, so when the comm
+        fast path installs a keep-alive pool, reconnecting to a
+        recently-used device skips the handshake.
+        """
         if self._connection is not None and not self._connection.closed:
             return
-        self._connection = yield from self.transport.connect(
+        self._connection = yield from self.transport.open(
             self.device, self.timeout)
 
     def close(self) -> None:
-        """Close the control channel and drop in-flight exchanges."""
+        """Release the control channel and drop in-flight exchanges.
+
+        With a pool installed the healthy channel is parked for reuse
+        rather than torn down; without one this closes it, exactly as
+        before. A channel abandoned with exchanges still in flight is
+        never pooled — the next holder must not inherit them.
+        """
         if self._connection is not None:
-            self._connection.close()
+            if self._in_flight:
+                self.transport.discard(self._connection)
+            else:
+                self.transport.release(self._connection)
             self._connection = None
         self._in_flight.clear()
 
@@ -81,7 +95,15 @@ class BaseCommunicator:
                 f"outstanding request"
             )
         exchange = self._in_flight.popleft()
-        response = yield exchange
+        try:
+            response = yield exchange
+        except CommunicationError:
+            # The channel failed mid-exchange: it must never be pooled
+            # for reuse. (Without a pool this just closes it early.)
+            if self._connection is not None:
+                self.transport.discard(self._connection)
+                self._connection = None
+            raise
         return response
 
     def request(self, message: Message) -> Generator[Any, Any, Response]:

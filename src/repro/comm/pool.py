@@ -1,0 +1,204 @@
+"""Keep-alive connection pooling for the comm fast path.
+
+The paper's cost tables price the connection handshake as a first-class
+line item (Section 3), and every probe exchange of Section 4 pays it
+again. Under many continuous queries sharing one device fleet, the
+handshake dominates: each batch re-connects to each candidate it
+probes, and each poll re-connects to each sensory device it scans.
+
+:class:`ConnectionPool` amortizes that cost. A connection released back
+to the pool stays open and is handed to the next caller that asks for
+the same device, skipping the handshake entirely. The pool is bounded:
+
+* **idle expiry** — a connection idle longer than ``idle_seconds`` is
+  considered gone (NAT mappings and radio sessions do not live forever)
+  and is closed on the next checkout attempt;
+* **LRU capacity cap** — at most ``capacity`` idle connections are
+  retained; inserting beyond that closes the least-recently-released
+  one;
+* **invalidation** — a communication failure mid-exchange or a health
+  breaker opening discards the device's channel, so a dead device never
+  serves a stale socket to the next probe.
+
+The pool never owns checkout bookkeeping races: a connection is either
+idle (inside the pool) or checked out (held by exactly one caller, who
+must :meth:`release` or :meth:`discard` it). Concurrent checkouts for
+the same device simply open extra connections; the surplus is closed on
+release.
+
+Everything is deterministic: checkout order, expiry and eviction depend
+only on virtual time and call order, so pooled runs replay exactly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Generator
+
+from repro.errors import CommunicationError
+from repro.devices.base import Device
+from repro.network.transport import Connection, Transport
+from repro.obs.spans import NULL_OBS
+from repro.runtime import Runtime
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.spans import Observability
+
+
+@dataclass
+class _IdleEntry:
+    """One parked keep-alive connection."""
+
+    connection: Connection
+    idle_since: float
+
+
+class ConnectionPool:
+    """Bounded LRU pool of keep-alive device connections."""
+
+    def __init__(
+        self,
+        env: Runtime,
+        transport: Transport,
+        *,
+        capacity: int = 64,
+        idle_seconds: float = 30.0,
+        obs: "Observability" = NULL_OBS,
+    ) -> None:
+        if capacity < 1:
+            raise CommunicationError(
+                f"pool capacity must be >= 1, got {capacity}")
+        if idle_seconds <= 0:
+            raise CommunicationError(
+                f"pool idle_seconds must be positive, got {idle_seconds}")
+        self.env = env
+        self.transport = transport
+        self.capacity = capacity
+        self.idle_seconds = idle_seconds
+        self.obs = obs
+        #: Idle connections, least-recently-released first.
+        self._idle: "OrderedDict[str, _IdleEntry]" = OrderedDict()
+        #: Lifetime counters (cheap, always on — statistics/benchmarks
+        #: read them whether or not observability is enabled).
+        self.hits = 0
+        self.misses = 0
+        self.expired = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.discards = 0
+
+    def __len__(self) -> int:
+        """Idle connections currently parked."""
+        return len(self._idle)
+
+    # ------------------------------------------------------------------
+    # Checkout / checkin
+    # ------------------------------------------------------------------
+    def acquire(
+        self, device: Device, timeout: float
+    ) -> Generator[Any, Any, Connection]:
+        """Check out a channel to ``device``: pooled if warm, else fresh.
+
+        A pool hit returns immediately (no handshake, no virtual-time
+        cost). A miss — no idle channel, or an idle channel past its
+        expiry — pays the full :meth:`Transport.connect` handshake.
+        """
+        entry = self._idle.pop(device.device_id, None)
+        if entry is not None:
+            stale = (entry.connection.closed
+                     or self.env.now - entry.idle_since > self.idle_seconds)
+            if stale:
+                entry.connection.close()
+                self.expired += 1
+                self.obs.inc("comm.pool.expired",
+                             device_type=device.device_type)
+            else:
+                self.hits += 1
+                self.obs.inc("comm.pool.hits",
+                             device_type=device.device_type)
+                return entry.connection
+        self.misses += 1
+        self.obs.inc("comm.pool.misses", device_type=device.device_type)
+        connection = yield from self.transport.connect(device, timeout)
+        return connection
+
+    def release(self, connection: Connection) -> None:
+        """Return a healthy channel to the pool for reuse.
+
+        Closed connections are dropped; a surplus channel (another
+        holder already parked one for the same device) is closed rather
+        than pooled — one keep-alive control channel per device.
+        """
+        if connection.closed:
+            return
+        device = connection.device
+        if device.device_id in self._idle:
+            connection.close()
+            self.discards += 1
+            self.obs.inc("comm.pool.discarded",
+                         device_type=device.device_type)
+            return
+        self._idle[device.device_id] = _IdleEntry(connection, self.env.now)
+        while len(self._idle) > self.capacity:
+            _, evicted = self._idle.popitem(last=False)
+            evicted.connection.close()
+            self.evictions += 1
+            self.obs.inc("comm.pool.evictions",
+                         device_type=evicted.connection.device.device_type)
+        self.obs.set_gauge("comm.pool.size", len(self._idle))
+
+    def discard(self, connection: Connection) -> None:
+        """Close a checked-out channel that failed mid-exchange."""
+        connection.close()
+        self.discards += 1
+        self.obs.inc("comm.pool.discarded",
+                     device_type=connection.device.device_type)
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self, device_id: str, reason: str = "") -> None:
+        """Drop the device's idle channel (if any) and close it.
+
+        Called on communication failure and when the device's health
+        breaker opens: a quarantined device must not hand its stale
+        socket to the probation probe that later readmits it.
+        """
+        entry = self._idle.pop(device_id, None)
+        if entry is None:
+            return
+        entry.connection.close()
+        self.invalidations += 1
+        self.obs.inc("comm.pool.invalidations",
+                     reason=reason if reason else "unspecified")
+        self.obs.set_gauge("comm.pool.size", len(self._idle))
+
+    def close_all(self) -> None:
+        """Close and drop every idle connection."""
+        for entry in self._idle.values():
+            entry.connection.close()
+        self._idle.clear()
+        self.obs.set_gauge("comm.pool.size", 0)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of checkouts served without a handshake."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Lifetime counters, for engine statistics and benchmarks."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "expired": self.expired,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "discards": self.discards,
+            "idle": len(self._idle),
+        }

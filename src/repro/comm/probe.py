@@ -108,8 +108,10 @@ class Prober:
         with self.obs.span("probe", parent=parent_span, detached=True,
                            device=device.device_id):
             try:
-                connection = yield from self.transport.connect(device,
-                                                               timeout)
+                # Checkout via Transport.open: a keep-alive pool, when
+                # installed, serves the channel without a handshake.
+                connection = yield from self.transport.open(device,
+                                                            timeout)
                 try:
                     phase = "ping"
                     ping = yield from connection.request(Message(
@@ -124,8 +126,13 @@ class Prober:
                     if not status.ok:
                         raise CommunicationError(
                             f"status failed: {status.error}")
-                finally:
-                    connection.close()
+                except BaseException:
+                    # A failed exchange poisons the channel: never pool
+                    # it (without a pool this is exactly close()).
+                    self.transport.discard(connection)
+                    raise
+                else:
+                    self.transport.release(connection)
             except (ConnectionTimeoutError, CommunicationError,
                     DeviceError) as exc:
                 self.probes_failed += 1
@@ -161,8 +168,12 @@ class Prober:
         """Probe candidates concurrently; results in input order.
 
         Probing in parallel matters: a single dead mote would otherwise
-        stall device selection for its whole TIMEOUT.
+        stall device selection for its whole TIMEOUT. An empty candidate
+        list — routine once the status cache answers for every device in
+        a batch — short-circuits without spawning any process.
         """
+        if not devices:
+            return []
         probes = [self.env.process(
                       self.probe(device, parent_span=parent_span)).defuse()
                   for device in devices]

@@ -1,0 +1,178 @@
+"""TTL-bounded device-status cache for the comm fast path.
+
+Section 4 makes every batch pay a full probe exchange (connect + ping +
+status) per candidate before device-selection optimization. When many
+continuous queries share one fleet, most candidates were probed moments
+ago by the previous batch and their physical status has not changed —
+re-probing them buys nothing but round trips.
+
+:class:`DeviceStatusCache` keeps the last probed status per device with
+a per-type freshness TTL, so the dispatcher can skip the probe exchange
+for recently-seen devices and cost-estimate from the cached snapshot.
+Correctness rests entirely on invalidation, because the paper's cost
+model is sequence-dependent — "the execution of a photo() action moves
+the head of the camera to a new position, which in turn affects the
+cost of the subsequent photo() action" (Section 2.3). An entry is
+dropped:
+
+* after **any action execution** on the device (the status the cache
+  holds is the pre-execution status — provably stale);
+* on **probe failure** (the device is unreachable; nothing about it may
+  be assumed);
+* on **quarantine transitions** of the health breaker (an OPEN or
+  probation device must be re-examined, never served from cache);
+* on **TTL expiry**, bounding how long an untouched device's drift
+  (battery, coverage, ambient readings) can skew cost estimation.
+
+TTLs are per device type: a PTZ camera's head position only changes
+when Aorta moves it, so its status stays valid long; a phone's carrier
+coverage churns on its own, so its snapshot goes stale fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.errors import CommunicationError
+from repro.devices.base import Device
+from repro.obs.spans import NULL_OBS
+from repro.runtime import Runtime
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.spans import Observability
+
+#: Default per-type freshness TTLs, in virtual seconds. Camera status
+#: (head position) only changes under Aorta's own actions, so it keeps
+#: long; sensor readings drift with the environment; phone coverage is
+#: the most volatile of the three.
+DEFAULT_STATUS_TTLS: Dict[str, float] = {
+    "camera": 10.0,
+    "sensor": 3.0,
+    "phone": 5.0,
+}
+
+
+@dataclass
+class _CacheEntry:
+    """One cached status snapshot."""
+
+    status: Dict[str, float]
+    stored_at: float
+    device_type: str
+
+
+class DeviceStatusCache:
+    """Last-probed physical status per device, with bounded freshness."""
+
+    def __init__(
+        self,
+        env: Runtime,
+        *,
+        default_ttl: float = 5.0,
+        ttls: Optional[Dict[str, float]] = None,
+        obs: "Observability" = NULL_OBS,
+    ) -> None:
+        if default_ttl <= 0:
+            raise CommunicationError(
+                f"status-cache default_ttl must be positive, "
+                f"got {default_ttl}")
+        self.default_ttl = default_ttl
+        self.ttls = dict(DEFAULT_STATUS_TTLS if ttls is None else ttls)
+        for device_type, ttl in self.ttls.items():
+            if ttl <= 0:
+                raise CommunicationError(
+                    f"status TTL for {device_type!r} must be positive, "
+                    f"got {ttl}")
+        self.env = env
+        self.obs = obs
+        self._entries: Dict[str, _CacheEntry] = {}
+        #: Lifetime counters (always on; statistics/benchmarks read
+        #: them whether or not observability is enabled).
+        self.hits = 0
+        self.misses = 0
+        self.expired = 0
+        self.stores = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        """Entries currently cached (fresh or not yet swept)."""
+        return len(self._entries)
+
+    def ttl_for(self, device_type: str) -> float:
+        """The freshness window that applies to this device type."""
+        return self.ttls.get(device_type, self.default_ttl)
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def lookup(self, device: Device) -> Optional[Dict[str, float]]:
+        """The device's status if cached and fresh, else ``None``.
+
+        Returns a copy: callers hand statuses into cost estimation and
+        schedulers, which must never mutate the cached snapshot.
+        """
+        entry = self._entries.get(device.device_id)
+        if entry is None:
+            self.misses += 1
+            self.obs.inc("probe.cache.misses",
+                         device_type=device.device_type)
+            return None
+        if self.env.now - entry.stored_at > self.ttl_for(entry.device_type):
+            del self._entries[device.device_id]
+            self.expired += 1
+            self.misses += 1
+            self.obs.inc("probe.cache.expired",
+                         device_type=device.device_type)
+            self.obs.inc("probe.cache.misses",
+                         device_type=device.device_type)
+            return None
+        self.hits += 1
+        self.obs.inc("probe.cache.hits", device_type=device.device_type)
+        return dict(entry.status)
+
+    def store(self, device: Device, status: Dict[str, float]) -> None:
+        """Record a freshly probed status snapshot."""
+        self._entries[device.device_id] = _CacheEntry(
+            status=dict(status),
+            stored_at=self.env.now,
+            device_type=device.device_type,
+        )
+        self.stores += 1
+        self.obs.inc("probe.cache.stores", device_type=device.device_type)
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self, device_id: str, reason: str = "") -> None:
+        """Drop the device's entry (no-op when absent)."""
+        if self._entries.pop(device_id, None) is None:
+            return
+        self.invalidations += 1
+        self.obs.inc("probe.cache.invalidations",
+                     reason=reason if reason else "unspecified")
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Lifetime counters, for engine statistics and benchmarks."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "expired": self.expired,
+            "stores": self.stores,
+            "invalidations": self.invalidations,
+            "entries": len(self._entries),
+        }

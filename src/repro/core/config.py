@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.errors import AortaError
 
@@ -127,6 +127,32 @@ class EngineConfig:
     #: virtual backend); 1.0 runs in real seconds. Ignored by the
     #: virtual backend.
     time_scale: float = 1.0
+    #: Comm fast path, knob 1: keep-alive connection pooling. Probes,
+    #: scans and operation executions reuse open control channels
+    #: instead of paying the handshake per exchange. Off by default:
+    #: the off path is byte-identical to a pre-fastpath engine.
+    connection_pool: bool = False
+    #: Most idle keep-alive connections retained (LRU-evicted beyond).
+    pool_capacity: int = 64
+    #: Idle expiry: a pooled connection unused this long (virtual
+    #: seconds) is closed on its next checkout attempt.
+    pool_idle_seconds: float = 30.0
+    #: Comm fast path, knob 2: TTL device-status cache. The dispatcher
+    #: skips the probe exchange for devices probed within their type's
+    #: freshness TTL, costing from the cached status; entries are
+    #: invalidated after any execution on the device, on probe failure
+    #: and on health-breaker transitions. Off by default.
+    status_cache: bool = False
+    #: Fallback freshness TTL (virtual seconds) for device types
+    #: without an entry in ``status_ttls``.
+    status_ttl_seconds: float = 5.0
+    #: Per-type freshness TTL overrides; ``None`` uses the built-in
+    #: defaults (:data:`repro.comm.status_cache.DEFAULT_STATUS_TTLS`).
+    status_ttls: Optional[Dict[str, float]] = None
+    #: Comm fast path, knob 3: run each action's batch as its own sim
+    #: process so independent actions' probe/schedule/execute pipelines
+    #: overlap instead of draining serially. Off by default.
+    concurrent_dispatch: bool = False
 
     def __post_init__(self) -> None:
         if self.poll_interval <= 0:
@@ -148,11 +174,29 @@ class EngineConfig:
             )
         if self.time_scale < 0:
             raise AortaError("time_scale must be non-negative")
+        if self.pool_capacity < 1:
+            raise AortaError("pool_capacity must be >= 1")
+        if self.pool_idle_seconds <= 0:
+            raise AortaError("pool_idle_seconds must be positive")
+        if self.status_ttl_seconds <= 0:
+            raise AortaError("status_ttl_seconds must be positive")
+        if self.status_ttls is not None:
+            for device_type, ttl in self.status_ttls.items():
+                if ttl <= 0:
+                    raise AortaError(
+                        f"status TTL for {device_type!r} must be "
+                        f"positive, got {ttl}")
 
     @property
     def synchronization(self) -> bool:
         """Whether both Section 4 mechanisms are active."""
         return self.locking and self.probing
+
+    @property
+    def comm_fastpath(self) -> bool:
+        """Whether any comm fast-path mechanism is switched on."""
+        return (self.connection_pool or self.status_cache
+                or self.concurrent_dispatch)
 
     @property
     def fault_tolerance(self) -> bool:

@@ -25,6 +25,7 @@ from repro.errors import (
 from repro.actions.action import ActionDefinition
 from repro.actions.request import ActionRequest, RequestState
 from repro.comm.layer import CommunicationLayer
+from repro.comm.status_cache import DeviceStatusCache
 from repro.cost.model import CostModel
 from repro.devices.base import Device
 from repro.devices.health import DeviceHealthTracker
@@ -45,7 +46,7 @@ from repro.runtime import Runtime
 from repro.sim import Event
 from repro.sim.rng import component_seed
 from repro.sync.locks import DeviceLockManager, LockToken
-from repro.core.config import EngineConfig
+from repro.core.config import EngineConfig, RetryPolicy
 
 #: Factories of the five evaluated algorithms, keyed by config name.
 SCHEDULER_FACTORIES = {
@@ -146,6 +147,7 @@ class Dispatcher:
         tracer: Optional["EngineTracer"] = None,
         health: Optional[DeviceHealthTracker] = None,
         obs: Optional[Observability] = None,
+        status_cache: Optional[DeviceStatusCache] = None,
     ) -> None:
         from repro.core.tracing import EngineTracer
         self.env = env
@@ -157,6 +159,9 @@ class Dispatcher:
         self.obs = obs if obs is not None else NULL_OBS
         #: Per-device circuit breakers (None = health tracking off).
         self.health = health
+        #: TTL device-status cache (None = every batch probes every
+        #: candidate, the pre-fastpath behaviour).
+        self.status_cache = status_cache
         # Note: an empty tracer is falsy (it has __len__), so test
         # identity, not truthiness.
         self.tracer = tracer if tracer is not None else EngineTracer()
@@ -226,9 +231,39 @@ class Dispatcher:
     def dispatch_pending(self) -> Generator[Any, Any, List[DispatchReport]]:
         """Drain every operator and dispatch its batch. Synchronous
         callers (tests, benchmarks) may drive this directly instead of
-        running the loop."""
+        running the loop.
+
+        Iterates a snapshot of the operator table: dispatching a batch
+        can create operators mid-drain (failover re-dispatch registers
+        the shared operator lazily), which must not mutate the dict
+        under this loop. With ``config.concurrent_dispatch`` each
+        action's batch runs as its own sim process, so independent
+        actions' probe/schedule/execute pipelines overlap; reports come
+        back in operator order either way.
+        """
+        operators = list(self._operators.values())
+        if self.config.concurrent_dispatch:
+            batches = [(operator, batch) for operator in operators
+                       for batch in [operator.drain()] if batch]
+            if len(batches) > 1:
+                dispatches = [
+                    self.env.process(
+                        self.dispatch_batch(operator.action, batch)
+                    ).defuse()
+                    for operator, batch in batches]
+                reports = []
+                for dispatch in dispatches:
+                    report = yield dispatch
+                    reports.append(report)
+                return reports
+            reports = []
+            for operator, batch in batches:
+                report = yield from self.dispatch_batch(operator.action,
+                                                        batch)
+                reports.append(report)
+            return reports
         reports = []
-        for operator in self._operators.values():
+        for operator in operators:
             batch = operator.drain()
             if batch:
                 report = yield from self.dispatch_batch(operator.action,
@@ -277,13 +312,31 @@ class Dispatcher:
         available: set[str] = set()
         if self.config.probing:
             device_list = list(devices.values())
+            to_probe = device_list
+            if self.status_cache is not None:
+                # Fresh cache entries stand in for the probe exchange:
+                # the device was seen within its type's TTL, so cost it
+                # from that status and skip the wire round-trips.
+                to_probe = []
+                for device in device_list:
+                    cached = self.status_cache.lookup(device)
+                    if cached is not None:
+                        available.add(device.device_id)
+                        statuses[device.device_id] = cached
+                    else:
+                        to_probe.append(device)
             results = yield from self.comm.prober.probe_all(
-                device_list, parent_span=batch_span)
-            for device, result in zip(device_list, results):
+                to_probe, parent_span=batch_span)
+            for device, result in zip(to_probe, results):
                 if result.available:
                     available.add(device.device_id)
                     statuses[device.device_id] = result.status
+                    if self.status_cache is not None:
+                        self.status_cache.store(device, result.status)
                 else:
+                    if self.status_cache is not None:
+                        self.status_cache.invalidate(
+                            device.device_id, reason="probe-failure")
                     self.tracer.record(
                         self.env.now, "probe_failed",
                         device=device.device_id, error=result.error)
@@ -496,7 +549,6 @@ class Dispatcher:
         request for the next batch minus the failed device.
         """
         policy = self.config.retry
-        attempt = 0
         execute_span = self.obs.span(
             "dispatch.execute",
             parent=batch_span if isinstance(batch_span, SpanContext)
@@ -504,54 +556,76 @@ class Dispatcher:
             detached=True,
             request=request.request_id, device=device.device_id)
         with execute_span:
-            while True:
-                attempt += 1
-                request.attempts += 1
-                self.attempts_total += 1
-                self.obs.inc("dispatch.attempts", device=device.device_id)
-                try:
-                    result = yield from action.execute(device,
-                                                       request.arguments)
-                except ActionFailedError as exc:
-                    transient = is_transient(exc)
-                    mark_reason = exc.reason
-                except (DeviceError, CommunicationError, QueryError) as exc:
-                    transient = is_transient(exc)
-                    mark_reason = str(exc)
-                else:
-                    if self.health is not None:
-                        self.health.record_success(device.device_id)
-                    request.mark_serviced(self.env.now, result)
-                    break
-                if transient and self.health is not None:
-                    self.health.record_failure(device.device_id,
-                                               reason=mark_reason)
-                if transient and attempt < policy.max_attempts:
-                    self.retries_total += 1
-                    self.obs.inc("dispatch.retries",
-                                 device=device.device_id)
-                    backoff = policy.backoff_seconds(attempt,
-                                                     self._retry_rng)
-                    self.tracer.record(
-                        self.env.now, "request_retry",
-                        request=request.request_id,
-                        device=device.device_id,
-                        attempt=attempt, backoff=backoff,
-                        reason=mark_reason)
-                    if backoff > 0:
-                        yield self.env.timeout(backoff)
-                    continue
-                if transient and self._requeue_for_failover(
-                        request, device.device_id, mark_reason):
-                    return
-                request.mark_failed(self.env.now, mark_reason)
-                break
+            try:
+                yield from self._execute_attempts(action, device, request,
+                                                  policy)
+            finally:
+                if self.status_cache is not None:
+                    # Executing on the device changed its physical
+                    # status (position, battery, queue depth): the
+                    # cached snapshot is stale for the next batch
+                    # whatever the outcome.
+                    self.status_cache.invalidate(device.device_id,
+                                                 reason="execution")
+        if request.state is RequestState.PENDING:
+            # Requeued for failover: completion is traced by the batch
+            # that finally services (or fails) it.
+            return
         kind = ("request_serviced" if request.state is RequestState.SERVICED
                 else "request_failed")
         self.tracer.record(
             self.env.now, kind, request=request.request_id,
             action=request.action_name, device=device.device_id,
             query=request.query_id, reason=request.failure_reason)
+
+    def _execute_attempts(
+        self, action: ActionDefinition, device: Device,
+        request: ActionRequest, policy: RetryPolicy,
+    ) -> Generator[Any, Any, None]:
+        """The attempt/retry/failover loop of one request execution."""
+        attempt = 0
+        while True:
+            attempt += 1
+            request.attempts += 1
+            self.attempts_total += 1
+            self.obs.inc("dispatch.attempts", device=device.device_id)
+            try:
+                result = yield from action.execute(device,
+                                                   request.arguments)
+            except ActionFailedError as exc:
+                transient = is_transient(exc)
+                mark_reason = exc.reason
+            except (DeviceError, CommunicationError, QueryError) as exc:
+                transient = is_transient(exc)
+                mark_reason = str(exc)
+            else:
+                if self.health is not None:
+                    self.health.record_success(device.device_id)
+                request.mark_serviced(self.env.now, result)
+                return
+            if transient and self.health is not None:
+                self.health.record_failure(device.device_id,
+                                           reason=mark_reason)
+            if transient and attempt < policy.max_attempts:
+                self.retries_total += 1
+                self.obs.inc("dispatch.retries",
+                             device=device.device_id)
+                backoff = policy.backoff_seconds(attempt,
+                                                 self._retry_rng)
+                self.tracer.record(
+                    self.env.now, "request_retry",
+                    request=request.request_id,
+                    device=device.device_id,
+                    attempt=attempt, backoff=backoff,
+                    reason=mark_reason)
+                if backoff > 0:
+                    yield self.env.timeout(backoff)
+                continue
+            if transient and self._requeue_for_failover(
+                    request, device.device_id, mark_reason):
+                return
+            request.mark_failed(self.env.now, mark_reason)
+            return
 
     def _requeue_for_failover(
         self, request: ActionRequest, failed_device: Optional[str],

@@ -15,10 +15,12 @@ from repro.actions.builtins import install_builtin_actions
 from repro.actions.registry import ActionRegistry
 from repro.actions.request import ActionRequest
 from repro.comm.layer import CommunicationLayer
+from repro.comm.pool import ConnectionPool
+from repro.comm.status_cache import DeviceStatusCache
 from repro.cost.model import CostModel, QuantityResolver
 from repro.devices.base import Device
 from repro.devices.camera import PanTiltZoomCamera
-from repro.devices.health import DeviceHealthTracker
+from repro.devices.health import BreakerState, DeviceHealthTracker
 from repro.geometry import Point
 from repro.network.link import LinkModel
 from repro.plan.planner import Planner, SnapshotPlan
@@ -102,6 +104,24 @@ class AortaEngine:
                                  enabled=self.config.observability)
         self.comm.transport.obs = self.obs
         self.comm.prober.obs = self.obs
+        #: Comm fast path (DESIGN.md decision 10). Both pieces are None
+        #: unless their config knob is on, and the off path is
+        #: byte-identical to a pre-fastpath engine.
+        self.pool: Optional[ConnectionPool] = None
+        if self.config.connection_pool:
+            self.pool = ConnectionPool(
+                self.env, self.comm.transport,
+                capacity=self.config.pool_capacity,
+                idle_seconds=self.config.pool_idle_seconds,
+                obs=self.obs)
+            self.comm.transport.pool = self.pool
+        self.status_cache: Optional[DeviceStatusCache] = None
+        if self.config.status_cache:
+            self.status_cache = DeviceStatusCache(
+                self.env,
+                default_ttl=self.config.status_ttl_seconds,
+                ttls=self.config.status_ttls,
+                obs=self.obs)
         self.locks = DeviceLockManager(self.env, obs=self.obs)
         #: Per-device circuit breakers; None when health tracking is
         #: not configured. The prober feeds it probe outcomes and the
@@ -112,11 +132,18 @@ class AortaEngine:
                                               tracer=self.tracer,
                                               obs=self.obs)
             self.comm.prober.health = self.health
+            if self.pool is not None or self.status_cache is not None:
+                # Breaker transitions make a device's last-known state
+                # untrustworthy: drop its pooled channel and cached
+                # status so nothing is reused across a quarantine edge.
+                self.health.transition_listeners.append(
+                    self._on_breaker_transition)
         self.dispatcher = Dispatcher(self.env, self.comm, self.cost_model,
                                      self.locks, self.config,
                                      tracer=self.tracer,
                                      health=self.health,
-                                     obs=self.obs)
+                                     obs=self.obs,
+                                     status_cache=self.status_cache)
         self.planner = Planner(self.schema, self.actions, self.functions,
                                self.comm)
         self.continuous = ContinuousQueryExecutor(
@@ -142,6 +169,15 @@ class AortaEngine:
         """Admit several devices."""
         for device in devices:
             self.add_device(device)
+
+    def _on_breaker_transition(self, device_id: str,
+                               state: "BreakerState") -> None:
+        """Invalidate fast-path state on any circuit-breaker edge."""
+        reason = f"breaker-{state.value}"
+        if self.pool is not None:
+            self.pool.invalidate(device_id, reason=reason)
+        if self.status_cache is not None:
+            self.status_cache.invalidate(device_id, reason=reason)
 
     # ------------------------------------------------------------------
     # Built-in function needing engine context
@@ -409,4 +445,12 @@ class AortaEngine:
             stats["devices_readmitted"] = health["recoveries"]
             stats["currently_quarantined"] = health["currently_quarantined"]
             stats["mean_recovery_seconds"] = health["mean_recovery_seconds"]
+        # Fast-path keys appear only when their mechanism is on, so
+        # fastpath-off snapshots stay identical to pre-fastpath ones.
+        if self.pool is not None:
+            for key, value in self.pool.stats().items():
+                stats[f"pool_{key}"] = value
+        if self.status_cache is not None:
+            for key, value in self.status_cache.stats().items():
+                stats[f"status_cache_{key}"] = value
         return stats

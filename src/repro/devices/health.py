@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.errors import DeviceError
 from repro.obs.spans import NULL_OBS
@@ -101,6 +101,12 @@ class DeviceHealthTracker:
         self.tracer = tracer
         self.obs = obs if obs is not None else NULL_OBS
         self._devices: Dict[str, _DeviceHealth] = {}
+        #: Called on every breaker transition with (device_id, new
+        #: state). The comm fast path hooks this to drop pooled
+        #: connections and cached statuses of devices entering or
+        #: leaving quarantine — their last-known state is untrustworthy.
+        self.transition_listeners: List[
+            Callable[[str, BreakerState], None]] = []
         #: Lifetime counters for statistics().
         self.quarantines_total = 0
         self.recoveries_total = 0
@@ -115,6 +121,10 @@ class DeviceHealthTracker:
     def _trace(self, kind: str, **fields: object) -> None:
         if self.tracer is not None:
             self.tracer.record(self.env.now, kind, **fields)
+
+    def _notify(self, device_id: str, state: BreakerState) -> None:
+        for listener in self.transition_listeners:
+            listener(device_id, state)
 
     # ------------------------------------------------------------------
     # Outcome reporting (from the prober and the dispatcher)
@@ -139,6 +149,7 @@ class DeviceHealthTracker:
                 self.obs.observe("health.recovery_seconds",
                                  self.env.now - entry.quarantined_at,
                                  device=device_id)
+                self._notify(device_id, BreakerState.CLOSED)
         else:
             entry.consecutive_failures = 0
 
@@ -172,6 +183,7 @@ class DeviceHealthTracker:
         self._trace("device_quarantined", device=device_id,
                     window=entry.window, relapse=relapse, reason=reason)
         self.obs.inc("health.quarantines", device=device_id)
+        self._notify(device_id, BreakerState.OPEN)
 
     # ------------------------------------------------------------------
     # Candidate gating (from the dispatcher)
@@ -192,6 +204,7 @@ class DeviceHealthTracker:
             entry.probation_successes = 0
             self._trace("device_probation", device=device_id)
             self.obs.inc("health.probations", device=device_id)
+            self._notify(device_id, BreakerState.HALF_OPEN)
         return True
 
     # ------------------------------------------------------------------

@@ -10,7 +10,7 @@ behaviours the probing mechanism of Section 4 must detect and contain.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Generator, Optional
+from typing import TYPE_CHECKING, Any, Dict, Generator, Optional
 
 from repro.errors import (
     CommunicationError,
@@ -22,6 +22,9 @@ from repro.network.link import DEFAULT_LINKS, LinkModel
 from repro.network.message import Message, Response
 from repro.obs.spans import NULL_OBS
 from repro.runtime import Runtime
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.comm.pool import ConnectionPool
 
 
 class Connection:
@@ -112,6 +115,13 @@ class Transport:
         self.rng = rng or random.Random(0)
         #: Metrics sink (the engine replaces this with its own).
         self.obs = NULL_OBS
+        #: Optional keep-alive pool (installed by the engine when the
+        #: comm fast path is on); ``None`` means every :meth:`open` is
+        #: a fresh handshake and every release a close.
+        self.pool: Optional["ConnectionPool"] = None
+        #: Lifetime handshake-attempt counter (always on, so benchmarks
+        #: can measure connect traffic without observability enabled).
+        self.connects_attempted = 0
 
     def link_for(self, device: Device) -> LinkModel:
         """The link model of the device's medium."""
@@ -131,6 +141,7 @@ class Transport:
             raise CommunicationError(f"timeout must be positive, got {timeout}")
         link = self.link_for(device)
         started = self.env.now
+        self.connects_attempted += 1
         self.obs.inc("comm.connects", device_type=device.device_type)
         if not device.reachable or link.drops(self.rng):
             yield self.env.timeout(timeout)
@@ -151,6 +162,38 @@ class Transport:
         self.obs.observe("comm.connect_seconds", self.env.now - started,
                          device_type=device.device_type)
         return Connection(self, device, link)
+
+    # ------------------------------------------------------------------
+    # Checkout surface: the comm fast path routes through these so a
+    # keep-alive pool, when installed, transparently absorbs the
+    # handshake cost. Without a pool they are exactly connect()/close().
+    # ------------------------------------------------------------------
+    def open(
+        self, device: Device, timeout: float
+    ) -> Generator[Any, Any, Connection]:
+        """Check out a control channel: pooled keep-alive or fresh."""
+        if self.pool is not None:
+            return (yield from self.pool.acquire(device, timeout))
+        return (yield from self.connect(device, timeout))
+
+    def release(self, connection: Connection) -> None:
+        """Return a healthy channel obtained via :meth:`open`."""
+        if self.pool is not None:
+            self.pool.release(connection)
+        else:
+            connection.close()
+
+    def discard(self, connection: Connection) -> None:
+        """Dispose of a channel that failed mid-exchange."""
+        if self.pool is not None:
+            self.pool.discard(connection)
+        else:
+            connection.close()
+
+    def invalidate(self, device_id: str, reason: str = "") -> None:
+        """Drop any pooled channel to the device (no-op without a pool)."""
+        if self.pool is not None:
+            self.pool.invalidate(device_id, reason=reason)
 
     def _handle(
         self, device: Device, message: Message

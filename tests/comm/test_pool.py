@@ -1,0 +1,147 @@
+"""ConnectionPool: keep-alive reuse, expiry, LRU capping, invalidation."""
+
+import pytest
+
+from repro.errors import CommunicationError
+from repro.comm.pool import ConnectionPool
+from repro.network.message import Message
+
+from tests.comm.conftest import run
+
+
+@pytest.fixture
+def pool(env, layer):
+    pool = ConnectionPool(env, layer.transport, capacity=3,
+                          idle_seconds=10.0)
+    layer.transport.pool = pool
+    return pool
+
+
+def checkout(env, transport, device, timeout=1.0):
+    return run(env, transport.open(device, timeout))
+
+
+class TestCheckout:
+    def test_first_checkout_is_a_miss_that_connects(self, env, layer,
+                                                    lab, pool):
+        connection = checkout(env, layer.transport, lab["cam1"])
+        assert not connection.closed
+        assert pool.misses == 1 and pool.hits == 0
+        assert layer.transport.connects_attempted == 1
+
+    def test_release_then_checkout_reuses_without_handshake(
+            self, env, layer, lab, pool):
+        connection = checkout(env, layer.transport, lab["cam1"])
+        layer.transport.release(connection)
+        assert len(pool) == 1
+        again = checkout(env, layer.transport, lab["cam1"])
+        assert again is connection
+        assert pool.hits == 1
+        # No second handshake was paid.
+        assert layer.transport.connects_attempted == 1
+
+    def test_pooled_connection_still_serves_requests(self, env, layer,
+                                                     lab, pool):
+        connection = checkout(env, layer.transport, lab["cam1"])
+        layer.transport.release(connection)
+        again = checkout(env, layer.transport, lab["cam1"])
+        response = run(env, again.request(
+            Message(kind="ping", device_id="cam1"), 1.0))
+        assert response.ok
+
+    def test_concurrent_checkouts_open_extra_connections(
+            self, env, layer, lab, pool):
+        first = checkout(env, layer.transport, lab["cam1"])
+        second = checkout(env, layer.transport, lab["cam1"])
+        assert first is not second
+        # Parking both: the second is surplus and gets closed.
+        layer.transport.release(first)
+        layer.transport.release(second)
+        assert len(pool) == 1
+        assert second.closed and not first.closed
+        assert pool.discards == 1
+
+
+class TestExpiry:
+    def test_idle_connection_expires_after_idle_seconds(self, env, layer,
+                                                        lab, pool):
+        connection = checkout(env, layer.transport, lab["cam1"])
+        layer.transport.release(connection)
+        env.run(until=env.now + 11.0)  # past idle_seconds=10
+        fresh = checkout(env, layer.transport, lab["cam1"])
+        assert fresh is not connection
+        assert connection.closed
+        assert pool.expired == 1
+        assert layer.transport.connects_attempted == 2
+
+    def test_connection_at_exact_idle_boundary_survives(self, env, layer,
+                                                        lab, pool):
+        connection = checkout(env, layer.transport, lab["cam1"])
+        layer.transport.release(connection)
+        env.run(until=env.now + 10.0)  # exactly idle_seconds
+        assert checkout(env, layer.transport, lab["cam1"]) is connection
+
+
+class TestCapacity:
+    def test_lru_eviction_closes_least_recently_released(self, env, layer,
+                                                         lab, pool):
+        order = ["cam1", "cam2", "mote1", "mote2"]  # capacity is 3
+        held = {name: checkout(env, layer.transport, lab[name])
+                for name in order}
+        for name in order:
+            layer.transport.release(held[name])
+        assert len(pool) == 3
+        assert held["cam1"].closed           # oldest release evicted
+        assert pool.evictions == 1
+        # The evicted device reconnects; the survivors are hits.
+        assert checkout(env, layer.transport, lab["cam2"]) is held["cam2"]
+        fresh = checkout(env, layer.transport, lab["cam1"])
+        assert fresh is not held["cam1"]
+
+    def test_validation(self, env, layer):
+        with pytest.raises(CommunicationError, match="capacity"):
+            ConnectionPool(env, layer.transport, capacity=0)
+        with pytest.raises(CommunicationError, match="idle_seconds"):
+            ConnectionPool(env, layer.transport, idle_seconds=0.0)
+
+
+class TestInvalidation:
+    def test_invalidate_closes_and_drops_the_idle_channel(self, env, layer,
+                                                          lab, pool):
+        connection = checkout(env, layer.transport, lab["cam1"])
+        layer.transport.release(connection)
+        pool.invalidate("cam1", reason="breaker-open")
+        assert connection.closed
+        assert len(pool) == 0
+        assert pool.invalidations == 1
+
+    def test_invalidate_unknown_device_is_a_noop(self, pool):
+        pool.invalidate("nobody")
+        assert pool.invalidations == 0
+
+    def test_discard_never_parks_the_channel(self, env, layer, lab, pool):
+        connection = checkout(env, layer.transport, lab["cam1"])
+        layer.transport.discard(connection)
+        assert connection.closed
+        assert len(pool) == 0
+
+    def test_close_all(self, env, layer, lab, pool):
+        for name in ("cam1", "cam2"):
+            layer.transport.release(
+                checkout(env, layer.transport, lab[name]))
+        pool.close_all()
+        assert len(pool) == 0
+
+
+class TestStats:
+    def test_hit_rate_and_stats_shape(self, env, layer, lab, pool):
+        connection = checkout(env, layer.transport, lab["cam1"])
+        layer.transport.release(connection)
+        checkout(env, layer.transport, lab["cam1"])
+        stats = pool.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert pool.hit_rate == 0.5
+
+    def test_empty_pool_hit_rate_is_zero(self, pool):
+        assert pool.hit_rate == 0.0

@@ -98,6 +98,15 @@ def test_probe_records_later_phase_failures(env, layer, lab):
             yield env.timeout(0.01)
             return _FlakyStatusConnection(env)
 
+        def open(self, device, timeout):
+            return (yield from self.connect(device, timeout))
+
+        def release(self, connection):
+            connection.close()
+
+        def discard(self, connection):
+            connection.close()
+
     layer.prober.transport = _FlakyTransport()
     result = run(env, layer.probe(lab["cam1"]))
     assert not result.available

@@ -1,0 +1,92 @@
+"""DeviceStatusCache: TTL freshness, copies, invalidation, counters."""
+
+import pytest
+
+from repro.errors import CommunicationError
+from repro.comm.status_cache import DEFAULT_STATUS_TTLS, DeviceStatusCache
+
+
+@pytest.fixture
+def cache(env):
+    return DeviceStatusCache(env, default_ttl=5.0)
+
+
+class TestLookup:
+    def test_miss_on_unknown_device(self, cache, lab):
+        assert cache.lookup(lab["cam1"]) is None
+        assert cache.misses == 1
+
+    def test_fresh_entry_hits(self, cache, lab):
+        cache.store(lab["cam1"], {"pan": 10.0})
+        assert cache.lookup(lab["cam1"]) == {"pan": 10.0}
+        assert cache.hits == 1
+
+    def test_lookup_returns_a_copy(self, cache, lab):
+        cache.store(lab["cam1"], {"pan": 10.0})
+        cache.lookup(lab["cam1"])["pan"] = 999.0
+        assert cache.lookup(lab["cam1"]) == {"pan": 10.0}
+
+    def test_store_copies_its_input(self, cache, lab):
+        status = {"pan": 10.0}
+        cache.store(lab["cam1"], status)
+        status["pan"] = 999.0
+        assert cache.lookup(lab["cam1"]) == {"pan": 10.0}
+
+    def test_entry_expires_after_its_type_ttl(self, env, cache, lab):
+        cache.store(lab["cam1"], {"pan": 10.0})
+        env.run(until=DEFAULT_STATUS_TTLS["camera"] + 0.5)
+        assert cache.lookup(lab["cam1"]) is None
+        assert cache.expired == 1
+        assert len(cache) == 0  # expired entries are swept on lookup
+
+    def test_entry_at_exact_ttl_boundary_is_fresh(self, env, cache, lab):
+        cache.store(lab["cam1"], {"pan": 10.0})
+        env.run(until=DEFAULT_STATUS_TTLS["camera"])
+        assert cache.lookup(lab["cam1"]) is not None
+
+    def test_per_type_ttls_differ(self, env, cache, lab):
+        cache.store(lab["cam1"], {"pan": 1.0})     # camera: 10s
+        cache.store(lab["mote1"], {"battery": 0.9})  # sensor: 3s
+        env.run(until=4.0)
+        assert cache.lookup(lab["mote1"]) is None
+        assert cache.lookup(lab["cam1"]) is not None
+
+    def test_unknown_type_uses_default_ttl(self, env, cache):
+        assert cache.ttl_for("toaster") == 5.0
+
+
+class TestInvalidation:
+    def test_invalidate_drops_the_entry(self, cache, lab):
+        cache.store(lab["cam1"], {"pan": 10.0})
+        cache.invalidate("cam1", reason="execution")
+        assert cache.lookup(lab["cam1"]) is None
+        assert cache.invalidations == 1
+
+    def test_invalidate_absent_entry_is_a_noop(self, cache):
+        cache.invalidate("nobody")
+        assert cache.invalidations == 0
+
+    def test_clear(self, cache, lab):
+        cache.store(lab["cam1"], {"pan": 10.0})
+        cache.store(lab["mote1"], {"battery": 0.9})
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestValidationAndStats:
+    def test_ttls_must_be_positive(self, env):
+        with pytest.raises(CommunicationError, match="default_ttl"):
+            DeviceStatusCache(env, default_ttl=0.0)
+        with pytest.raises(CommunicationError, match="camera"):
+            DeviceStatusCache(env, ttls={"camera": -1.0})
+
+    def test_stats_shape(self, env, cache, lab):
+        cache.store(lab["cam1"], {"pan": 10.0})
+        cache.lookup(lab["cam1"])
+        cache.lookup(lab["mote1"])
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["stores"] == 1
+        assert stats["entries"] == 1

@@ -39,15 +39,18 @@ def _config(observability: Optional[bool], **kwargs) -> EngineConfig:
 
 
 def snapshot_scenario(observability: Optional[bool] = None,
-                      env=None) -> AortaEngine:
+                      env=None, **config_kwargs) -> AortaEngine:
     """The paper's Figure 1 snapshot: one stimulus, one photo.
 
     Two ceiling cameras cover a sensor mote; an acceleration spike at
     t=2s triggers the registered AQ once, and the cost-optimal camera
-    takes the photo. Runs 30 virtual seconds.
+    takes the photo. Runs 30 virtual seconds. Extra keyword arguments
+    pass through to :class:`EngineConfig` (e.g. the comm fast-path
+    knobs, for identity tests against the fastpath-off golden).
     """
     env = env if env is not None else Environment()
-    engine = AortaEngine(env, config=_config(observability), seed=0)
+    engine = AortaEngine(env, config=_config(observability,
+                                             **config_kwargs), seed=0)
     engine.add_device(PanTiltZoomCamera(env, "cam1", Point(0, 0),
                                         ip_address="10.0.0.1"))
     engine.add_device(PanTiltZoomCamera(env, "cam2", Point(20, 0),
@@ -69,6 +72,7 @@ def snapshot_scenario(observability: Optional[bool] = None,
 def continuous_outage_scenario(
     observability: Optional[bool] = None,
     env=None,
+    **config_kwargs,
 ) -> AortaEngine:
     """A continuous photo workload through injected camera outages.
 
@@ -83,6 +87,7 @@ def continuous_outage_scenario(
     config = _config(
         observability,
         probing=False,
+        **config_kwargs,
         retry=RetryPolicy(max_attempts=2, backoff_base=0.5,
                           backoff_factor=2.0, backoff_max=4.0,
                           jitter=0.1, failover=True, max_dispatches=4),
