@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Generator, Mapping, Tuple
+from typing import Any, Callable, Dict, Generator, Mapping, Optional, Tuple
 
 from repro.errors import QueryError, RegistrationError
 from repro.devices.base import Device
-from repro.cost.model import QuantityResolver
+from repro.cost.model import BlockResolver, QuantityResolver
 from repro.profiles.action_profile import ActionProfile
 
 #: Device-side behaviour of an action: a generator consuming virtual
@@ -82,6 +82,9 @@ class ActionDefinition:
     library_path: str = ""
     profile_path: str = ""
     builtin: bool = False
+    #: Optional vectorized resolver enabling the cost model's block
+    #: (batch) estimation entry points for this action.
+    block_resolver: Optional[BlockResolver] = None
     #: Device-selection mode. False (the paper's semantics): the
     #: optimizer picks the single best candidate ("it is sufficient to
     #: let some, instead of all, devices take the action"). True (an

@@ -86,6 +86,58 @@ def photo_resolver(
     return quantities, post_status
 
 
+class PhotoBlockResolver:
+    """Vectorized ``photo()`` quantity resolution (cost-model block API).
+
+    ``prepare`` resolves every target's aimed head pose with the same
+    scalar trig the per-call resolver uses (numpy's ``arctan2``/
+    ``hypot`` can differ from :mod:`math` in the last ulp, which would
+    break byte-identical schedules); ``resolve`` is then pure
+    element-wise float64 arithmetic against one status, bit-equal to
+    :func:`photo_resolver` per element.
+    """
+
+    def prepare(self, device: Device,
+                args_list: list) -> Dict[str, Any]:
+        import numpy
+        if not isinstance(device, PanTiltZoomCamera):
+            raise QueryError("photo() cost estimation requires a PTZ camera")
+        pans = []
+        tilts = []
+        zooms = []
+        for args in args_list:
+            aimed = device.aim_for(args["target"])
+            pans.append(aimed.pan)
+            tilts.append(aimed.tilt)
+            zooms.append(aimed.zoom)
+        return {
+            "pan": numpy.array(pans, dtype=numpy.float64),
+            "tilt": numpy.array(tilts, dtype=numpy.float64),
+            "zoom": numpy.array(zooms, dtype=numpy.float64),
+        }
+
+    def resolve(self, device: Device, prepared: Dict[str, Any],
+                status: Mapping[str, float],
+                indexes: Any = None) -> Dict[str, Any]:
+        import numpy
+        pan, tilt, zoom = prepared["pan"], prepared["tilt"], prepared["zoom"]
+        if indexes is not None:
+            pan, tilt, zoom = pan[indexes], tilt[indexes], zoom[indexes]
+        return {
+            "pan_degrees": numpy.abs(pan - status["pan"]),
+            "tilt_degrees": numpy.abs(tilt - status["tilt"]),
+            "zoom_units": numpy.abs(zoom - status["zoom"]),
+        }
+
+    def post_status(self, device: Device, prepared: Dict[str, Any],
+                    index: int) -> Dict[str, float]:
+        return {
+            "pan": float(prepared["pan"][index]),
+            "tilt": float(prepared["tilt"][index]),
+            "zoom": float(prepared["zoom"][index]),
+        }
+
+
 # ----------------------------------------------------------------------
 # sendphoto(phone_no, photo_pathname [, size_kb]) on phones
 # ----------------------------------------------------------------------
@@ -200,6 +252,7 @@ def builtin_definitions() -> list[ActionDefinition]:
             profile=photo_profile(),
             resolver=photo_resolver,
             builtin=True,
+            block_resolver=PhotoBlockResolver(),
         ),
         ActionDefinition(
             name="beep",
@@ -234,4 +287,5 @@ def install_builtin_actions(
     """
     for definition in builtin_definitions():
         registry.register(definition)
-        cost_model.register_action(definition.profile, definition.resolver)
+        cost_model.register_action(definition.profile, definition.resolver,
+                                   block_resolver=definition.block_resolver)

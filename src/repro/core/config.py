@@ -153,6 +153,17 @@ class EngineConfig:
     #: process so independent actions' probe/schedule/execute pipelines
     #: overlap instead of draining serially. Off by default.
     concurrent_dispatch: bool = False
+    #: Scheduler fast path, knob 1: evaluate cost columns through the
+    #: numpy block kernel instead of per-pair Python calls. Requires
+    #: numpy (the ``repro[fast]`` extra); byte-identical schedules.
+    #: Off by default.
+    vectorize: bool = False
+    #: Scheduler fast path, knob 2: warm-start recurring batches from
+    #: the previous schedule, re-placing only requests touching dirty
+    #: devices (health transitions, status-cache invalidations,
+    #: executions) and sharing one memoizing cost oracle per action
+    #: across batches. Off by default.
+    incremental: bool = False
 
     def __post_init__(self) -> None:
         if self.poll_interval <= 0:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, Hashable, List, Optional, Tuple
 
 from repro.errors import (
     ActionFailedError,
@@ -20,6 +20,7 @@ from repro.errors import (
     CommunicationError,
     DeviceError,
     QueryError,
+    SchedulingError,
     is_transient,
 )
 from repro.actions.action import ActionDefinition
@@ -31,6 +32,10 @@ from repro.devices.base import Device
 from repro.devices.health import DeviceHealthTracker
 from repro.plan.action_op import SharedActionOperator
 from repro.scheduling import (
+    HAVE_NUMPY,
+    BlockModelKernel,
+    CachingCostModel,
+    IncrementalScheduler,
     LerfaSrfeScheduler,
     ListScheduler,
     Problem,
@@ -40,6 +45,7 @@ from repro.scheduling import (
     SchedulingCostModel,
     SimulatedAnnealingScheduler,
     SrfaeScheduler,
+    freeze_status,
 )
 from repro.obs.spans import NULL_OBS, Observability, SpanContext
 from repro.runtime import Runtime
@@ -91,6 +97,17 @@ class _ActionCostAdapter(SchedulingCostModel):
     def initial_status(self, device_id: str) -> Dict[str, float]:
         return self._initial[device_id]
 
+    def rebind(self, devices: Dict[str, Device],
+               initial_statuses: Dict[str, Dict[str, float]]) -> None:
+        """Point the adapter at the current batch's probed world.
+
+        The incremental dispatch path keeps one adapter (and one
+        memoizing cache wrapping it) alive across recurring batches;
+        each batch swaps in its own device table and probed statuses.
+        """
+        self._devices = devices
+        self._initial = initial_statuses
+
     def estimate(self, request: SchedRequest, device_id: str,
                  status: Any) -> Tuple[float, Any]:
         action_request: ActionRequest = request.payload
@@ -98,6 +115,52 @@ class _ActionCostAdapter(SchedulingCostModel):
             self._action.name, self._devices[device_id],
             action_request.arguments, status=status)
         return estimate.seconds, estimate.post_status
+
+    def make_column_kernel(self, problem: Problem) -> Optional[
+            BlockModelKernel]:
+        """A vectorized kernel over the engine cost model's block path.
+
+        Declines (scalar fallback) without numpy or when any device in
+        the problem lacks a registered block resolver for this action.
+        """
+        if not HAVE_NUMPY:
+            return None
+        device_types = {self._devices[device_id].device_type
+                        for device_id in problem.device_ids}
+        if not all(self._cost_model.supports_block(self._action.name,
+                                                   device_type)
+                   for device_type in device_types):
+            return None
+        return BlockModelKernel(
+            self._cost_model, self._action.name, self._devices,
+            [request.payload.arguments for request in problem.requests])
+
+
+def _request_fingerprint(request: SchedRequest) -> Hashable:
+    """Cross-batch identity of an engine action request.
+
+    The engine allocates a fresh ``request_id`` for every emission, so
+    recurring batches of the same logical work carry disjoint ids; the
+    warm-start scheduler matches them by content instead: action name,
+    candidate set and frozen arguments. Unfreezable argument values
+    degrade to payload identity (never matches across batches — a full
+    run, not a wrong splice).
+    """
+    action_request: ActionRequest = request.payload
+    try:
+        args_key: Hashable = freeze_status(action_request.arguments)
+    except SchedulingError:
+        args_key = id(action_request)
+    return (action_request.action_name, request.candidates, args_key)
+
+
+@dataclass
+class _IncrementalActionState:
+    """Warm-start machinery kept alive across one action's batches."""
+
+    adapter: _ActionCostAdapter
+    cache: CachingCostModel
+    scheduler: IncrementalScheduler
 
 
 @dataclass
@@ -167,8 +230,23 @@ class Dispatcher:
         self.tracer = tracer if tracer is not None else EngineTracer()
         if scheduler is None:
             factory = SCHEDULER_FACTORIES[config.scheduler]
-            scheduler = factory(config.scheduler_seed)
+            scheduler = factory(config.scheduler_seed,
+                                vectorize=config.vectorize)
         self.scheduler = scheduler
+        #: Per-action warm-start state (adapter + shared cost cache +
+        #: incremental scheduler), built lazily when config.incremental.
+        self._incremental: Dict[str, _IncrementalActionState] = {}
+        if config.incremental:
+            # Dirty-set signals the engine already emits: breaker
+            # transitions and status-cache invalidations both mean the
+            # device's last-known state is untrustworthy, so its cached
+            # cost estimates and previous placements are stale too.
+            if health is not None:
+                health.transition_listeners.append(
+                    lambda device_id, state: self._mark_dirty(device_id))
+            if status_cache is not None:
+                status_cache.invalidation_listeners.append(
+                    lambda device_id, reason: self._mark_dirty(device_id))
         self._operators: Dict[str, SharedActionOperator] = {}
         self._wakeup: Optional[Event] = None
         self._running = False
@@ -187,6 +265,40 @@ class Dispatcher:
         self.attempts_total = 0
         self.retries_total = 0
         self.failovers_total = 0
+
+    # ------------------------------------------------------------------
+    # Incremental warm-start state
+    # ------------------------------------------------------------------
+    def _mark_dirty(self, device_id: str) -> None:
+        """Propagate a dirty-device signal to every action's warm state."""
+        for state in self._incremental.values():
+            state.scheduler.mark_dirty(device_id)
+            state.cache.invalidate_device(device_id)
+
+    def _incremental_state(
+            self, action: ActionDefinition) -> _IncrementalActionState:
+        state = self._incremental.get(action.name)
+        if state is None:
+            adapter = _ActionCostAdapter(self.cost_model, action, {}, {})
+            cache = CachingCostModel(adapter, track_devices=True)
+            state = _IncrementalActionState(
+                adapter=adapter,
+                cache=cache,
+                scheduler=IncrementalScheduler(
+                    self.scheduler, cost_cache=cache,
+                    fingerprint=_request_fingerprint),
+            )
+            self._incremental[action.name] = state
+        return state
+
+    @property
+    def incremental_stats(self) -> Dict[str, float]:
+        """Warm-start counters summed over actions (engine statistics)."""
+        totals: Dict[str, float] = {}
+        for state in self._incremental.values():
+            for key, value in state.scheduler.stats.as_dict().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     # ------------------------------------------------------------------
     # Shared action operators
@@ -380,7 +492,19 @@ class Dispatcher:
         retries_before = self.retries_total
         scheduling_seconds = 0.0
         serviced = failed = 0
+        scheduler = self.scheduler
         if schedulable:
+            if self.config.incremental:
+                # Warm-start path: one adapter + memoizing cache +
+                # incremental scheduler persist across this action's
+                # batches; only the probed world is swapped in.
+                state = self._incremental_state(action)
+                state.adapter.rebind(devices, statuses)
+                cost_model: SchedulingCostModel = state.adapter
+                scheduler = state.scheduler
+            else:
+                cost_model = _ActionCostAdapter(self.cost_model, action,
+                                                devices, statuses)
             problem = Problem(
                 requests=tuple(
                     SchedRequest(request_id=r.request_id,
@@ -391,17 +515,16 @@ class Dispatcher:
                     for r in schedulable),
                 device_ids=tuple(device_id for device_id in devices
                                  if device_id in available),
-                cost_model=_ActionCostAdapter(self.cost_model, action,
-                                              devices, statuses),
+                cost_model=cost_model,
                 label=f"batch:{action.name}@{batch_started}",
             )
             with self.obs.span(
                     "dispatch.schedule",
                     parent=batch_span if isinstance(batch_span, SpanContext)
                     else None,
-                    algorithm=self.scheduler.name,
+                    algorithm=scheduler.name,
                     size=len(schedulable)):
-                schedule = self.scheduler.schedule(problem)
+                schedule = scheduler.schedule(problem)
             scheduling_seconds = schedule.scheduling_seconds
             for request in schedulable:
                 request.mark_assigned(schedule.device_of(request.request_id))
@@ -429,6 +552,14 @@ class Dispatcher:
                                 by_id[request_id], batch_span)).defuse())
             for execution in executions:
                 yield execution
+            if self.config.incremental:
+                # Executing moved every serviced device's head: its
+                # previous placements and cached estimates are stale.
+                # (The status cache, when on, also signals this via its
+                # invalidation listener; marking is idempotent.)
+                for device_id, queue in schedule.assignments.items():
+                    if queue:
+                        self._mark_dirty(device_id)
             for request in schedulable:
                 if request.state is RequestState.SERVICED:
                     serviced += 1
@@ -452,7 +583,7 @@ class Dispatcher:
             scheduling_seconds=scheduling_seconds,
             batch_started_at=batch_started,
             batch_finished_at=self.env.now,
-            cache_stats=(self.scheduler.last_cache_stats
+            cache_stats=(scheduler.last_cache_stats
                          if schedulable else None),
             attempts=self.attempts_total - attempts_before,
             retries=self.retries_total - retries_before,
@@ -473,7 +604,7 @@ class Dispatcher:
                         report.makespan_seconds)
             obs.observe("dispatch.scheduling_wallclock_seconds",
                         scheduling_seconds,
-                        algorithm=self.scheduler.name)
+                        algorithm=scheduler.name)
         self.tracer.record(
             self.env.now, "batch_dispatched", action=action.name,
             size=len(batch), serviced=serviced,

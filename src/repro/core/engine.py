@@ -453,4 +453,7 @@ class AortaEngine:
         if self.status_cache is not None:
             for key, value in self.status_cache.stats().items():
                 stats[f"status_cache_{key}"] = value
+        if self.config.incremental:
+            for key, value in self.dispatcher.incremental_stats.items():
+                stats[f"incremental_{key}"] = value
         return stats

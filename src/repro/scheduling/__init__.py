@@ -20,6 +20,11 @@ stand-in for the paper's optimal MIP discussion).
 
 from repro.scheduling.base import Schedule, Scheduler
 from repro.scheduling.cost_cache import CachingCostModel, freeze_status
+from repro.scheduling.incremental import (
+    IncrementalScheduler,
+    IncrementalStats,
+    default_fingerprint,
+)
 from repro.scheduling.lerfa_srfe import LerfaSrfeScheduler
 from repro.scheduling.list_scheduling import ListScheduler
 from repro.scheduling.executor import ExecutionResult, execute_schedule
@@ -46,6 +51,13 @@ from repro.scheduling.simulated_annealing import (
     SimulatedAnnealingScheduler,
 )
 from repro.scheduling.srfae import SrfaeScheduler
+from repro.scheduling.vector_cost import (
+    HAVE_NUMPY,
+    BlockModelKernel,
+    ColumnKernel,
+    build_kernel,
+    require_numpy,
+)
 from repro.scheduling.workload import (
     CameraStatusCostModel,
     matrix_workload,
@@ -54,9 +66,14 @@ from repro.scheduling.workload import (
 )
 
 __all__ = [
+    "BlockModelKernel",
     "CachingCostModel",
     "CameraStatusCostModel",
+    "ColumnKernel",
     "ExecutionResult",
+    "HAVE_NUMPY",
+    "IncrementalScheduler",
+    "IncrementalStats",
     "LerfaSrfeScheduler",
     "ListScheduler",
     "MakespanBreakdown",
@@ -71,10 +88,13 @@ __all__ = [
     "SrfaeScheduler",
     "StaticCostModel",
     "breakdown",
+    "build_kernel",
+    "default_fingerprint",
     "device_completion_times",
     "device_utilization",
     "execute_schedule",
     "freeze_status",
+    "require_numpy",
     "matrix_workload",
     "optimal_schedule",
     "request_completion_times",

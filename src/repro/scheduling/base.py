@@ -118,6 +118,12 @@ class Scheduler:
     transparent otherwise: schedules are identical with it on and off.
     ``last_cache_stats`` exposes the oracle's hit/miss counters of the
     most recent run.
+
+    ``vectorize`` opts into the numpy column-kernel fast path (see
+    :mod:`repro.scheduling.vector_cost`) for algorithms that support it;
+    it requires numpy (the ``repro[fast]`` extra) and is byte-identical
+    to the scalar path. Cost models without a column kernel fall back
+    to the scalar walk even when it is on.
     """
 
     #: Short display name, as used in the paper's figures.
@@ -127,9 +133,15 @@ class Scheduler:
 
     def __init__(self, seed: int = 0,
                  cost_cache: Union[bool, str, CachingCostModel] = "auto",
+                 *, vectorize: bool = False,
                  ) -> None:
+        self.seed = seed
         self.rng = random.Random(seed)
         self.cost_cache = cost_cache
+        self.vectorize = vectorize
+        if vectorize:
+            from repro.scheduling.vector_cost import require_numpy
+            require_numpy()
         self.last_cache_stats: Optional[Dict[str, float]] = None
 
     def _solve(self, problem: Problem) -> Dict[str, List[str]]:

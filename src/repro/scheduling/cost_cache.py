@@ -22,7 +22,7 @@ would freeze its first draw and silently change the experiment.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Mapping, Tuple
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import SchedulingError
 from repro.scheduling.problem import SchedRequest, SchedulingCostModel
@@ -80,7 +80,8 @@ class CachingCostModel(SchedulingCostModel):
 
     deterministic = True
 
-    def __init__(self, inner: SchedulingCostModel) -> None:
+    def __init__(self, inner: SchedulingCostModel, *,
+                 track_devices: bool = False) -> None:
         if isinstance(inner, CachingCostModel):
             raise SchedulingError("refusing to cache a cache")
         if not getattr(inner, "deterministic", True):
@@ -89,6 +90,11 @@ class CachingCostModel(SchedulingCostModel):
                 "caching would freeze its first draw"
             )
         self._inner = inner
+        #: device_id -> cache keys, for selective invalidation. Only
+        #: maintained when ``track_devices`` is on (the incremental
+        #: dispatcher path), so the default hot path pays nothing.
+        self._by_device: Optional[Dict[str, Set[Tuple[str, str, Hashable]]]]
+        self._by_device = {} if track_devices else None
         self._estimates: Dict[Tuple[str, str, Hashable],
                               Tuple[Any, float, Any]] = {}
         self._actuals: Dict[Tuple[str, str, Hashable],
@@ -109,6 +115,9 @@ class CachingCostModel(SchedulingCostModel):
 
     def initial_status(self, device_id: str) -> Any:
         return self._inner.initial_status(device_id)
+
+    def initial_workload(self, device_id: str) -> float:
+        return self._inner.initial_workload(device_id)
 
     def _freeze(self, status: Any) -> Hashable:
         if type(status) is dict:
@@ -136,6 +145,8 @@ class CachingCostModel(SchedulingCostModel):
         self.misses += 1
         seconds, post_status = compute(request, device_id, status)
         table[key] = (request.payload, seconds, post_status)
+        if self._by_device is not None:
+            self._by_device.setdefault(device_id, set()).add(key)
         return seconds, post_status
 
     def estimate(
@@ -162,13 +173,39 @@ class CachingCostModel(SchedulingCostModel):
         seconds, post_status = self._inner.estimate(request, device_id,
                                                     status)
         self._estimates[key] = (request.payload, seconds, post_status)
+        if self._by_device is not None:
+            self._by_device.setdefault(device_id, set()).add(key)
         return seconds, post_status
+
+    def estimate_column(
+        self, requests: List[SchedRequest], device_id: str, status: Any
+    ) -> List[Tuple[float, Any]]:
+        """Cache-aware batch estimate: each element hits or fills the memo."""
+        return [self.estimate(request, device_id, status)
+                for request in requests]
 
     def actual(
         self, request: SchedRequest, device_id: str, status: Any
     ) -> Tuple[float, Any]:
         return self._lookup(self._actuals, self._inner.actual,
                             request, device_id, status)
+
+    def invalidate_device(self, device_id: str) -> None:
+        """Drop every cached entry computed for one device.
+
+        The incremental dispatcher calls this on dirty-set signals
+        (health transitions, status-cache invalidations, executions), so
+        a persistent cross-batch cache never serves estimates computed
+        from a stale device status. Requires ``track_devices=True``.
+        """
+        if self._by_device is None:
+            raise SchedulingError(
+                "invalidate_device needs CachingCostModel("
+                "track_devices=True)"
+            )
+        for key in self._by_device.pop(device_id, ()):
+            self._estimates.pop(key, None)
+            self._actuals.pop(key, None)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -192,5 +229,7 @@ class CachingCostModel(SchedulingCostModel):
         self._estimates.clear()
         self._actuals.clear()
         self._frozen_by_id.clear()
+        if self._by_device is not None:
+            self._by_device.clear()
         self.hits = 0
         self.misses = 0

@@ -14,11 +14,12 @@ Two greedy sub-components (Figure 3, Algorithm 1):
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from repro.errors import SchedulingError
 from repro.scheduling.base import CATEGORY_SAP, Scheduler
 from repro.scheduling.problem import Problem, SchedRequest
+from repro.scheduling.vector_cost import ColumnKernel, build_kernel
 
 
 class LerfaSrfeScheduler(Scheduler):
@@ -28,6 +29,15 @@ class LerfaSrfeScheduler(Scheduler):
     category = CATEGORY_SAP
 
     def _solve(self, problem: Problem) -> Dict[str, List[str]]:
+        if self.vectorize:
+            kernel = build_kernel(problem)
+            if kernel is not None:
+                assigned = self._lerfa_assign_vectorized(problem, kernel)
+                return {
+                    device_id: self._srfe_order_vectorized(
+                        problem, kernel, device_id, requests)
+                    for device_id, requests in assigned.items()
+                }
         assigned = self._lerfa_assign(problem)
         return {
             device_id: self._srfe_order(problem, device_id, requests)
@@ -40,7 +50,8 @@ class LerfaSrfeScheduler(Scheduler):
     def _lerfa_assign(
         self, problem: Problem
     ) -> Dict[str, List[SchedRequest]]:
-        workloads = {device_id: 0.0 for device_id in problem.device_ids}
+        workloads = {device_id: problem.cost_model.initial_workload(device_id)
+                     for device_id in problem.device_ids}
         statuses = problem.initial_statuses()
         assigned: Dict[str, List[SchedRequest]] = {
             device_id: [] for device_id in problem.device_ids}
@@ -75,6 +86,68 @@ class LerfaSrfeScheduler(Scheduler):
                 assigned[best_device].append(request)
         return assigned
 
+    def _lerfa_assign_vectorized(
+        self, problem: Problem, kernel: ColumnKernel
+    ) -> Dict[str, List[SchedRequest]]:
+        """LERFA over a precomputed (devices x requests) cost matrix.
+
+        LERFA estimates every candidate from the device's *initial*
+        status (assignment never advances statuses — that is SRFE's
+        job), so the whole cost matrix can be evaluated up front; each
+        request then scores its candidates with one gather + argmin.
+        Batch ordering, the rng shuffle sequence, first-strict-minimum
+        selection (numpy's first-occurrence argmin) and float64 workload
+        accumulation all match the scalar walk bit for bit.
+        """
+        import numpy
+
+        device_ids = problem.device_ids
+        device_index = {device_id: k
+                        for k, device_id in enumerate(device_ids)}
+        request_index = {request.request_id: i
+                         for i, request in enumerate(problem.requests)}
+        statuses = problem.initial_statuses()
+        initial_workload = problem.cost_model.initial_workload
+        matrix = numpy.stack([
+            kernel.column(device_id, statuses[device_id])
+            for device_id in device_ids])
+        workloads = numpy.array(
+            [initial_workload(device_id) for device_id in device_ids],
+            dtype=numpy.float64)
+        assigned: Dict[str, List[SchedRequest]] = {
+            device_id: [] for device_id in device_ids}
+        #: Candidate tuples are widely shared between requests (the
+        #: uniform workload has a single one); index arrays are memoized
+        #: by tuple identity, with the tuples pinned so no id is
+        #: recycled while the memo lives.
+        candidate_rows: Dict[int, Any] = {}
+        pinned_tuples: List[Any] = []
+
+        by_eligibility: Dict[int, List[SchedRequest]] = {}
+        for request in problem.requests:
+            by_eligibility.setdefault(len(request.candidates), []).append(
+                request)
+
+        for eligibility in sorted(by_eligibility):
+            batch = by_eligibility[eligibility]
+            self.rng.shuffle(batch)
+            for request in batch:
+                rows = candidate_rows.get(id(request.candidates))
+                if rows is None:
+                    rows = numpy.array(
+                        [device_index[d] for d in request.candidates],
+                        dtype=numpy.intp)
+                    candidate_rows[id(request.candidates)] = rows
+                    pinned_tuples.append(request.candidates)
+                i = request_index[request.request_id]
+                costs = matrix[rows, i]
+                projected = workloads[rows] + costs
+                best = int(projected.argmin())
+                best_row = int(rows[best])
+                workloads[best_row] += costs[best]
+                assigned[device_ids[best_row]].append(request)
+        return assigned
+
     # ------------------------------------------------------------------
     # Algorithm 1.2: Shortest Request First Execution (per device)
     # ------------------------------------------------------------------
@@ -102,4 +175,33 @@ class LerfaSrfeScheduler(Scheduler):
             request = remaining.pop(best_index)
             status = best_post
             order.append(request.request_id)
+        return order
+
+    def _srfe_order_vectorized(
+        self, problem: Problem, kernel: ColumnKernel, device_id: str,
+        requests: List[SchedRequest],
+    ) -> List[str]:
+        """SRFE with each round's re-estimates as one column call.
+
+        The scalar loop's first-strict-minimum scan in list order is
+        numpy's first-occurrence argmin over the same order; the chained
+        post-status comes from the kernel, which equals the scalar
+        estimate's.
+        """
+        import numpy
+
+        request_index = {request.request_id: i
+                         for i, request in enumerate(problem.requests)}
+        status = problem.cost_model.initial_status(device_id)
+        remaining = numpy.array(
+            [request_index[request.request_id] for request in requests],
+            dtype=numpy.intp)
+        order: List[str] = []
+        while len(remaining):
+            costs = kernel.column(device_id, status, remaining)
+            best = int(costs.argmin())
+            i = int(remaining[best])
+            status = kernel.post_status(i, device_id)
+            order.append(problem.requests[i].request_id)
+            remaining = numpy.delete(remaining, best)
         return order

@@ -79,12 +79,15 @@ class IncrementalMakespan:
         self._problem = problem
         self._solution = solution
         self._prefix: Dict[str, List[Tuple[float, Any]]] = {
-            device_id: self._walk(device_id, 0.0,
+            device_id: self._walk(device_id,
+                                  problem.cost_model.initial_workload(
+                                      device_id),
                                   problem.cost_model.initial_status(device_id),
                                   solution[device_id])
             for device_id in problem.device_ids}
         self.completions: Dict[str, float] = {
-            device_id: (prefix[-1][0] if prefix else 0.0)
+            device_id: (prefix[-1][0] if prefix
+                        else problem.cost_model.initial_workload(device_id))
             for device_id, prefix in self._prefix.items()}
         self.makespan = max(self.completions.values())
         self._argmax = max(self.completions, key=self.completions.get)
@@ -114,7 +117,7 @@ class IncrementalMakespan:
             prefix = self._prefix[device_id]
             first_changed = min(first_changed, len(prefix))
             if first_changed == 0:
-                elapsed = 0.0
+                elapsed = self._problem.cost_model.initial_workload(device_id)
                 status = self._problem.cost_model.initial_status(device_id)
             else:
                 elapsed, status = prefix[first_changed - 1]
@@ -123,10 +126,8 @@ class IncrementalMakespan:
             tails[device_id] = (first_changed, tail)
             if tail:
                 new_completions[device_id] = tail[-1][0]
-            elif first_changed:
-                new_completions[device_id] = elapsed
             else:
-                new_completions[device_id] = 0.0
+                new_completions[device_id] = elapsed
         if self._argmax in touched:
             # The current maximum may have shrunk: recompute over all
             # devices (rare — only when a move touches the critical
@@ -144,7 +145,9 @@ class IncrementalMakespan:
         for device_id, (first_changed, tail) in tails.items():
             prefix = self._prefix[device_id]
             prefix[first_changed:] = tail
-            self.completions[device_id] = (prefix[-1][0] if prefix else 0.0)
+            self.completions[device_id] = (
+                prefix[-1][0] if prefix
+                else self._problem.cost_model.initial_workload(device_id))
         self.makespan = new_makespan
         if (self._argmax in tails
                 or self.completions[self._argmax] != new_makespan):
@@ -159,8 +162,8 @@ class SimulatedAnnealingScheduler(Scheduler):
 
     def __init__(self, seed: int = 0,
                  parameters: SAParameters | None = None,
-                 cost_cache="auto") -> None:
-        super().__init__(seed, cost_cache=cost_cache)
+                 cost_cache="auto", *, vectorize: bool = False) -> None:
+        super().__init__(seed, cost_cache=cost_cache, vectorize=vectorize)
         self.parameters = parameters or SAParameters()
         #: Move-evaluation count of the last run, for reporting.
         self.evaluations = 0
@@ -173,7 +176,7 @@ class SimulatedAnnealingScheduler(Scheduler):
         """Full-walk completion time; the incremental evaluator's
         reference implementation (kept for tests and ablations)."""
         status = problem.cost_model.initial_status(device_id)
-        elapsed = 0.0
+        elapsed = problem.cost_model.initial_workload(device_id)
         for request in queue:
             seconds, status = problem.cost_model.estimate(
                 request, device_id, status)

@@ -33,6 +33,11 @@ from repro.errors import SchedulingError
 from repro.scheduling.avl import AVLTree
 from repro.scheduling.base import CATEGORY_CAP, Scheduler
 from repro.scheduling.problem import Problem
+from repro.scheduling.vector_cost import (
+    ColumnKernel,
+    build_kernel,
+    masked_argmin,
+)
 
 #: A pair key: (projected completion seconds, insertion serial).
 _Key = Tuple[float, int]
@@ -182,8 +187,9 @@ class SrfaeScheduler(Scheduler):
     category = CATEGORY_CAP
 
     def __init__(self, seed: int = 0, *, structure: str = "heap",
-                 use_avl: Optional[bool] = None, cost_cache="auto") -> None:
-        super().__init__(seed, cost_cache=cost_cache)
+                 use_avl: Optional[bool] = None, cost_cache="auto",
+                 vectorize: bool = False) -> None:
+        super().__init__(seed, cost_cache=cost_cache, vectorize=vectorize)
         if use_avl is not None:
             structure = "avl" if use_avl else "scan"
         if structure not in _STRUCTURES:
@@ -194,8 +200,14 @@ class SrfaeScheduler(Scheduler):
         self.structure = structure
 
     def _solve(self, problem: Problem) -> Dict[str, List[str]]:
+        if self.vectorize:
+            kernel = build_kernel(problem)
+            if kernel is not None:
+                return self._solve_vectorized(problem, kernel)
         serial = itertools.count().__next__
         estimate = problem.cost_model.estimate
+        offsets = {device_id: problem.cost_model.initial_workload(device_id)
+                   for device_id in problem.device_ids}
         tree = _STRUCTURES[self.structure]()
         #: device_id -> request_id -> (current tree key, post-servicing
         #: status, request). Storing the post-status alongside the key
@@ -216,7 +228,7 @@ class SrfaeScheduler(Scheduler):
             for device_id in request.candidates:
                 cost, post_status = estimate(
                     request, device_id, statuses[device_id])
-                key = (cost, serial())
+                key = (cost + offsets[device_id], serial())
                 initial.append((key, (request.request_id, device_id)))
                 entries[device_id][request.request_id] = (
                     key, post_status, request)
@@ -252,5 +264,113 @@ class SrfaeScheduler(Scheduler):
                 new_key = (cost + completion, serial())
                 update_key(entry[0], new_key)
                 device_entries[other_id] = (new_key, other_post, entry[2])
+
+        return assignments
+
+    def _solve_vectorized(self, problem: Problem,
+                          kernel: ColumnKernel) -> Dict[str, List[str]]:
+        """Algorithm 2 over per-device numpy cost columns.
+
+        Instead of one priority-structure entry per (request, device)
+        pair, each device keeps a float64 column of its eligible pairs'
+        current keys and contributes exactly one entry — its column
+        minimum — to a global lazy heap. Extraction order is identical
+        to the scalar structures: heap entries order by
+        ``(key, epoch, request index, candidate position)``, which
+        reproduces the scalar ``(key, insertion serial)`` order because
+        (a) initial serials are issued request-major over each request's
+        candidate tuple, i.e. ascending ``(request, position)``; (b) a
+        re-key refreshes *all* of one device's serials at once, so a
+        device's live pairs always share one epoch, epochs of distinct
+        devices past init are distinct, and every serial of a later
+        epoch exceeds every earlier one; (c) within one device and
+        epoch, serials ascend with request index, matching first-
+        occurrence ``argmin``. Entries are lazily revalidated on pop:
+        a device whose column changed (``gen`` mismatch) or whose
+        minimum was assigned elsewhere (``taken``) is recomputed and
+        re-pushed — its true key can only have grown, so the heap
+        invariant holds.
+        """
+        import numpy
+
+        requests = problem.requests
+        device_ids = problem.device_ids
+        n = len(requests)
+        device_index = {device_id: k
+                        for k, device_id in enumerate(device_ids)}
+        statuses = problem.initial_statuses()
+        assignments: Dict[str, List[str]] = {
+            device_id: [] for device_id in device_ids}
+        if not n:
+            return assignments
+
+        # Per-device eligibility: global request indexes (ascending) and
+        # each request's candidate-tuple position of this device (the
+        # scalar serial tie-break within epoch 0).
+        eligible_lists: List[List[int]] = [[] for _ in device_ids]
+        position_lists: List[List[int]] = [[] for _ in device_ids]
+        for i, request in enumerate(requests):
+            for position, device_id in enumerate(request.candidates):
+                k = device_index[device_id]
+                eligible_lists[k].append(i)
+                position_lists[k].append(position)
+        eligible = [numpy.array(idxs, dtype=numpy.intp)
+                    for idxs in eligible_lists]
+        positions = [numpy.array(idxs, dtype=numpy.intp)
+                     for idxs in position_lists]
+
+        # Current keys: cost column from the device's status, plus the
+        # device's accumulated completion time (initial workload at
+        # start) — the same ``cost + w`` the scalar re-key computes.
+        initial_workload = problem.cost_model.initial_workload
+        columns: List[Any] = [None] * len(device_ids)
+        taken = numpy.zeros(n, dtype=bool)
+        generations = [0] * len(device_ids)
+        heap: List[Tuple[float, int, int, int, int, int]] = []
+        for k, device_id in enumerate(device_ids):
+            if not len(eligible[k]):
+                continue
+            columns[k] = (kernel.column(device_id, statuses[device_id],
+                                        eligible[k])
+                          + initial_workload(device_id))
+            best = int(columns[k].argmin())
+            heap.append((float(columns[k][best]), 0,
+                         int(eligible[k][best]), int(positions[k][best]),
+                         k, 0))
+        heapq.heapify(heap)
+
+        assigned = 0
+        while assigned < n:
+            if not heap:  # pragma: no cover - defensive
+                raise SchedulingError("vectorized SRFAE ran out of pairs")
+            key, epoch, i, _, k, generation = heapq.heappop(heap)
+            if generation != generations[k]:
+                continue  # superseded by a newer push for this device
+            if taken[i]:
+                # The column is current but its minimum was assigned on
+                # another device; re-minimize over the untaken rest.
+                best = masked_argmin(columns[k], taken[eligible[k]])
+                generations[k] += 1
+                if best is not None:
+                    heapq.heappush(heap, (
+                        float(columns[k][best]), epoch,
+                        int(eligible[k][best]), int(positions[k][best]),
+                        k, generations[k]))
+                continue
+
+            # Assign: the key is the projected completion time w.
+            device_id = device_ids[k]
+            assignments[device_id].append(requests[i].request_id)
+            taken[i] = True
+            assigned += 1
+            status = statuses[device_id] = kernel.post_status(i, device_id)
+            columns[k] = kernel.column(device_id, status, eligible[k]) + key
+            generations[k] += 1
+            best = masked_argmin(columns[k], taken[eligible[k]])
+            if best is not None:
+                heapq.heappush(heap, (
+                    float(columns[k][best]), assigned,
+                    int(eligible[k][best]), int(positions[k][best]),
+                    k, generations[k]))
 
         return assignments

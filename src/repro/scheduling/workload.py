@@ -19,7 +19,7 @@ Two workload families:
 from __future__ import annotations
 
 import random
-from typing import Mapping, Optional, Tuple
+from typing import Any, Mapping, Optional, Tuple
 
 from repro.errors import SchedulingError
 from repro.devices.camera import CameraCalibration, HeadPosition
@@ -29,6 +29,47 @@ from repro.scheduling.problem import (
     SchedulingCostModel,
     StaticCostModel,
 )
+
+
+class _CameraColumnKernel:
+    """Vectorized camera-cost columns (see ``scheduling/vector_cost``).
+
+    Packs every request's target pose into float64 arrays once; a column
+    is then ``fixed + max(|Δpan|/v_pan, |Δtilt|/v_tilt, |Δzoom|/v_zoom)``
+    evaluated element-wise in the same fold order as the scalar
+    :meth:`HeadPosition.movement_seconds`, so each element is bit-equal
+    to the scalar estimate.
+    """
+
+    def __init__(self, model: "CameraStatusCostModel",
+                 problem: Problem) -> None:
+        import numpy
+        self._requests = problem.requests
+        self._fixed = model.calibration.fixed_photo_seconds()
+        self._pan_speed = model.calibration.pan_speed
+        self._tilt_speed = model.calibration.tilt_speed
+        self._zoom_speed = model.calibration.zoom_speed
+        self._pan = numpy.array([r.payload.pan for r in problem.requests],
+                                dtype=numpy.float64)
+        self._tilt = numpy.array([r.payload.tilt for r in problem.requests],
+                                 dtype=numpy.float64)
+        self._zoom = numpy.array([r.payload.zoom for r in problem.requests],
+                                 dtype=numpy.float64)
+
+    def column(self, device_id: str, status: HeadPosition,
+               indexes: Optional[Any] = None) -> Any:
+        import numpy
+        pan, tilt, zoom = self._pan, self._tilt, self._zoom
+        if indexes is not None:
+            pan, tilt, zoom = pan[indexes], tilt[indexes], zoom[indexes]
+        movement = numpy.maximum(
+            numpy.maximum(numpy.abs(pan - status.pan) / self._pan_speed,
+                          numpy.abs(tilt - status.tilt) / self._tilt_speed),
+            numpy.abs(zoom - status.zoom) / self._zoom_speed)
+        return self._fixed + movement
+
+    def post_status(self, index: int, device_id: str) -> HeadPosition:
+        return self._requests[index].payload
 
 
 class CameraStatusCostModel(SchedulingCostModel):
@@ -90,6 +131,20 @@ class CameraStatusCostModel(SchedulingCostModel):
         self, request: SchedRequest, device_id: str, status: HeadPosition
     ) -> Tuple[float, HeadPosition]:
         return self._true_cost(request, status)
+
+    def make_column_kernel(self, problem: Problem
+                           ) -> Optional[_CameraColumnKernel]:
+        """Vectorized column oracle; ``None`` keeps the scalar path.
+
+        Declined for noisy estimators (each scalar call re-draws noise,
+        which a batch evaluation cannot reproduce).
+        """
+        if self.estimate_noise:
+            return None
+        from repro.scheduling.vector_cost import HAVE_NUMPY
+        if not HAVE_NUMPY:
+            return None
+        return _CameraColumnKernel(self, problem)
 
 
 def _random_head(rng: random.Random,

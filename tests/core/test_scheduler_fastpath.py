@@ -1,0 +1,107 @@
+"""The scheduler fast path end to end: vectorize + incremental knobs.
+
+``vectorize=True`` must be invisible in outcomes: the engine's full
+event trace is byte-identical to the scalar engine, for every
+algorithm. ``incremental=True`` may legitimately place warm batches
+differently (the splice is an approximation, not an identity), so it is
+pinned on outcomes — every request serviced, dirty signals flowing,
+statistics keys appearing only when the knob is on.
+"""
+
+import pytest
+
+from repro import EngineConfig
+from repro.scheduling import IncrementalScheduler
+from repro.scheduling.vector_cost import HAVE_NUMPY
+
+from tests.core.test_fastpath import build_fast_lab, drive, submit_photo
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY,
+                                 reason="numpy not installed")
+
+
+def run_rounds(config, rounds=3, per_round=6):
+    """Drive several recurring photo batches; returns (engine, trace)."""
+    engine = build_fast_lab(config, n_cameras=4)
+    candidates = ("cam1", "cam2", "cam3", "cam4")
+    n = 0
+    for round_index in range(rounds):
+        for j in range(per_round):
+            n += 1
+            submit_photo(engine, candidates, request_id=f"r{n}",
+                         x=10.0 + 3.0 * j + 1.5 * round_index)
+        drive(engine, until=300.0 * (round_index + 1))
+    trace = [(record.at, record.kind, dict(record.fields))
+             for record in engine.dispatcher.tracer]
+    return engine, trace
+
+
+class TestVectorizeKnob:
+    def test_defaults_off(self):
+        config = EngineConfig()
+        assert config.vectorize is False and config.incremental is False
+
+    @needs_numpy
+    @pytest.mark.parametrize("scheduler",
+                             ["SRFAE", "LERFA+SRFE", "LS", "RANDOM"])
+    def test_trace_byte_identical_to_scalar(self, scheduler):
+        _, scalar = run_rounds(EngineConfig(scheduler=scheduler))
+        _, vector = run_rounds(EngineConfig(scheduler=scheduler,
+                                            vectorize=True))
+        assert vector == scalar
+
+    @needs_numpy
+    def test_dispatcher_scheduler_carries_the_flag(self):
+        engine = build_fast_lab(EngineConfig(vectorize=True))
+        assert engine.dispatcher.scheduler.vectorize is True
+
+
+class TestIncrementalKnob:
+    def test_every_request_serviced_and_warm_runs_happen(self):
+        engine, _ = run_rounds(EngineConfig(incremental=True), rounds=4)
+        assert engine.dispatcher.serviced_total == 24
+        assert engine.dispatcher.failed_total == 0
+        stats = engine.statistics()
+        assert stats["incremental_batches"] == 4
+        # Recurring batches after the first are warm (spliced or
+        # re-placed against the previous placement), not full runs.
+        assert stats["incremental_full_runs"] == 1
+        assert stats["incremental_signaled_devices"] > 0
+
+    def test_statistics_keys_only_when_on(self):
+        engine, _ = run_rounds(EngineConfig())
+        assert not any(key.startswith("incremental_")
+                       for key in engine.statistics())
+
+    def test_per_action_scheduler_is_incremental(self):
+        engine, _ = run_rounds(EngineConfig(incremental=True), rounds=1)
+        state = engine.dispatcher._incremental["photo"]
+        assert isinstance(state.scheduler, IncrementalScheduler)
+        assert state.cache.inner is state.adapter
+        assert state.scheduler.inner is engine.dispatcher.scheduler
+
+    def test_status_cache_invalidations_feed_the_dirty_set(self):
+        engine, _ = run_rounds(EngineConfig(incremental=True,
+                                            status_cache=True), rounds=2)
+        stats = engine.statistics()
+        # Executions invalidate the status cache, whose listener marks
+        # the device dirty (on top of the dispatcher's own marking).
+        assert stats["status_cache_invalidations"] > 0
+        assert stats["incremental_signaled_devices"] > 0
+        assert engine.dispatcher.serviced_total == 12
+
+    @needs_numpy
+    def test_composes_with_vectorize(self):
+        engine, _ = run_rounds(EngineConfig(incremental=True,
+                                            vectorize=True), rounds=3)
+        assert engine.dispatcher.serviced_total == 18
+        assert engine.dispatcher.failed_total == 0
+
+    def test_outcomes_match_the_default_path(self):
+        plain, _ = run_rounds(EngineConfig(), rounds=3)
+        warm, _ = run_rounds(EngineConfig(incremental=True), rounds=3)
+        plain_reports = [(r.action_name, r.batch_size, r.serviced,
+                          r.failed) for r in plain.dispatcher.reports]
+        warm_reports = [(r.action_name, r.batch_size, r.serviced,
+                         r.failed) for r in warm.dispatcher.reports]
+        assert warm_reports == plain_reports

@@ -1,0 +1,330 @@
+"""Vectorized cost kernels: bit-equality with the scalar oracle.
+
+The load-bearing property is **byte-identity**: with ``vectorize=True``
+every scheduler must produce exactly the schedule the scalar walk
+produces — same assignments, same queue orders, same tie-breaks — on
+every problem. Anything weaker would silently change the paper's
+reproduced figures when the fast path is switched on. The kernels' own
+contract (a column is element-wise bit-equal to scalar ``estimate``) is
+what makes that identity provable, so it is property-tested directly
+against both cost oracles: the synthetic camera model and the engine
+cost model's block entry points.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PanTiltZoomCamera, Point
+from repro.actions.registry import ActionRegistry
+from repro.actions.builtins import install_builtin_actions
+from repro.cost.model import CostModel
+from repro.devices.camera import HeadPosition
+from repro.errors import ProfileError, SchedulingError
+from repro.profiles.defaults import (
+    camera_cost_table,
+    phone_cost_table,
+    sensor_cost_table,
+)
+from repro.runtime import create_runtime
+from repro.scheduling import (
+    HAVE_NUMPY,
+    BlockModelKernel,
+    CachingCostModel,
+    LerfaSrfeScheduler,
+    ListScheduler,
+    Problem,
+    RandomScheduler,
+    SAParameters,
+    SchedRequest,
+    SimulatedAnnealingScheduler,
+    SrfaeScheduler,
+    StaticCostModel,
+    skewed_camera_workload,
+    uniform_camera_workload,
+)
+from repro.scheduling import vector_cost
+from repro.scheduling.vector_cost import build_kernel, masked_argmin
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY,
+                                 reason="numpy not installed")
+
+TINY_SA = SAParameters(moves_per_temperature_per_request=4,
+                       max_evaluations=400)
+
+SCHEDULER_FACTORIES = (
+    lambda vec: SrfaeScheduler(0, vectorize=vec),
+    lambda vec: LerfaSrfeScheduler(0, vectorize=vec),
+    lambda vec: ListScheduler(0, vectorize=vec),
+    lambda vec: SimulatedAnnealingScheduler(0, parameters=TINY_SA,
+                                            vectorize=vec),
+    lambda vec: RandomScheduler(0, vectorize=vec),
+)
+
+
+# ----------------------------------------------------------------------
+# The optional-dependency gate
+# ----------------------------------------------------------------------
+def test_vectorize_without_numpy_is_a_clear_error(monkeypatch):
+    monkeypatch.setattr(vector_cost, "HAVE_NUMPY", False)
+    with pytest.raises(SchedulingError, match="repro\\[fast\\]"):
+        SrfaeScheduler(0, vectorize=True)
+
+
+def test_camera_model_declines_kernel_without_numpy(monkeypatch):
+    monkeypatch.setattr(vector_cost, "HAVE_NUMPY", False)
+    problem = uniform_camera_workload(4, 2, seed=0)
+    assert build_kernel(problem) is None
+
+
+def test_vectorize_defaults_off():
+    assert SrfaeScheduler(0).vectorize is False
+
+
+# ----------------------------------------------------------------------
+# masked_argmin: first occurrence wins, like a scalar strict-min scan
+# ----------------------------------------------------------------------
+@needs_numpy
+def test_masked_argmin_first_occurrence_and_masking():
+    import numpy
+    costs = numpy.array([3.0, 1.0, 1.0, 2.0])
+    mask = numpy.array([False, False, False, False])
+    assert masked_argmin(costs, mask) == 1
+    assert masked_argmin(costs, numpy.array([False, True, False, False])) == 2
+    assert masked_argmin(costs, numpy.ones(4, dtype=bool)) is None
+
+
+# ----------------------------------------------------------------------
+# Camera kernel: columns bit-equal to the scalar estimate walk
+# ----------------------------------------------------------------------
+@needs_numpy
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(1, 20), m=st.integers(1, 5),
+       seed=st.integers(0, 500), status_pick=st.integers(0, 10 ** 6))
+def test_camera_kernel_columns_bit_equal(n, m, seed, status_pick):
+    problem = uniform_camera_workload(n, m, seed=seed)
+    model = problem.cost_model
+    kernel = build_kernel(problem)
+    assert kernel is not None
+    for device_id in problem.device_ids:
+        # Both the initial pose and an arbitrary mid-sequence pose (any
+        # request's target is a reachable post-status).
+        statuses = [model.initial_status(device_id),
+                    problem.requests[status_pick % n].payload]
+        for status in statuses:
+            column = kernel.column(device_id, status)
+            for i, request in enumerate(problem.requests):
+                seconds, post = model.estimate(request, device_id, status)
+                assert column[i] == seconds  # bit-equal, not approx
+                assert kernel.post_status(i, device_id) == post
+
+
+@needs_numpy
+def test_camera_kernel_index_subsets():
+    import numpy
+    problem = uniform_camera_workload(12, 3, seed=7)
+    kernel = build_kernel(problem)
+    device_id = problem.device_ids[0]
+    status = problem.cost_model.initial_status(device_id)
+    full = kernel.column(device_id, status)
+    indexes = numpy.array([0, 5, 11, 5], dtype=numpy.intp)
+    subset = kernel.column(device_id, status, indexes)
+    assert list(subset) == [full[0], full[5], full[11], full[5]]
+
+
+@needs_numpy
+def test_noisy_estimator_declines_the_kernel():
+    noisy = uniform_camera_workload(6, 2, seed=0, estimate_noise=0.1)
+    assert build_kernel(noisy) is None
+
+
+@needs_numpy
+def test_build_kernel_unwraps_the_memo_cache():
+    problem = uniform_camera_workload(6, 2, seed=0)
+    wrapped = dataclasses.replace(
+        problem, cost_model=CachingCostModel(problem.cost_model))
+    assert build_kernel(wrapped) is not None
+
+
+def test_static_model_has_no_kernel():
+    costs = {("r1", "d1"): 2.0, ("r2", "d1"): 1.0}
+    problem = Problem(
+        requests=(SchedRequest("r1", ("d1",)), SchedRequest("r2", ("d1",))),
+        device_ids=("d1",), cost_model=StaticCostModel(costs))
+    assert build_kernel(problem) is None
+    if HAVE_NUMPY:
+        # vectorize=True silently keeps the scalar path for such models.
+        vec = SrfaeScheduler(0, vectorize=True).schedule(problem)
+        ref = SrfaeScheduler(0).schedule(problem)
+        assert vec.assignments == ref.assignments
+
+
+# ----------------------------------------------------------------------
+# Byte-identity: vectorize on == off, all five schedulers
+# ----------------------------------------------------------------------
+@needs_numpy
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(2, 16), m=st.integers(1, 5),
+       seed=st.integers(0, 1000))
+def test_all_schedulers_identical_with_vectorize_on_and_off(n, m, seed):
+    problem = uniform_camera_workload(n, m, seed=seed)
+    for factory in SCHEDULER_FACTORIES:
+        vectorized = factory(True).schedule(problem)
+        scalar = factory(False).schedule(problem)
+        assert vectorized.assignments == scalar.assignments
+
+
+@needs_numpy
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(4, 16), m=st.integers(2, 5),
+       skewness=st.sampled_from((0.2, 0.5, 0.8)),
+       seed=st.integers(0, 500))
+def test_skewed_eligibility_identical_with_vectorize(n, m, skewness, seed):
+    problem = skewed_camera_workload(n, m, skewness, seed=seed)
+    for factory in SCHEDULER_FACTORIES:
+        vectorized = factory(True).schedule(problem)
+        scalar = factory(False).schedule(problem)
+        assert vectorized.assignments == scalar.assignments
+
+
+@needs_numpy
+def test_duplicate_targets_force_ties_identically():
+    """All-equal costs make every argmin a tie: the serial/epoch order
+    of the vectorized heap must reproduce the scalar tie-breaks."""
+    base = uniform_camera_workload(8, 4, seed=3)
+    shared = base.requests[0].payload
+    problem = dataclasses.replace(base, requests=tuple(
+        SchedRequest(request_id=r.request_id, candidates=r.candidates,
+                     payload=shared)
+        for r in base.requests))
+    for factory in SCHEDULER_FACTORIES:
+        vectorized = factory(True).schedule(problem)
+        scalar = factory(False).schedule(problem)
+        assert vectorized.assignments == scalar.assignments
+
+
+# ----------------------------------------------------------------------
+# The engine cost model's block entry points
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def photo_lab():
+    env = create_runtime("virtual")
+    cost_model = CostModel()
+    for table in (camera_cost_table(), sensor_cost_table(),
+                  phone_cost_table()):
+        cost_model.register_cost_table(table)
+    registry = ActionRegistry()
+    install_builtin_actions(registry, cost_model)
+    cameras = {
+        f"cam{i + 1}": PanTiltZoomCamera(
+            env, f"cam{i + 1}", Point(25.0 * i, 0.0), facing=0.0,
+            view_half_angle=170.0, view_range=1000.0)
+        for i in range(3)}
+    return cost_model, registry.get("photo"), cameras
+
+
+@needs_numpy
+@settings(max_examples=25, deadline=None)
+@given(coords=st.lists(
+    st.tuples(st.floats(5.0, 60.0), st.floats(-25.0, 25.0)),
+    min_size=1, max_size=12),
+    pan=st.floats(-80.0, 80.0), tilt=st.floats(-30.0, 10.0),
+    zoom=st.floats(1.0, 9.0))
+def test_block_estimates_bit_equal_to_scalar(photo_lab, coords, pan,
+                                             tilt, zoom):
+    cost_model, photo, cameras = photo_lab
+    args_list = [{"target": Point(x, y), "directory": "photos"}
+                 for x, y in coords]
+    status = {"pan": pan, "tilt": tilt, "zoom": zoom}
+    for device in cameras.values():
+        prepared = cost_model.prepare_block(photo.name, device, args_list)
+        block = cost_model.estimate_block(photo.name, device, prepared,
+                                          status)
+        for i, args in enumerate(args_list):
+            scalar = cost_model.estimate(photo.name, device, args,
+                                         status=status)
+            assert block.seconds[i] == scalar.seconds
+            for name, quantity in scalar.quantities.items():
+                assert block.quantities[name][i] == quantity
+            post = cost_model.block_post_status(photo.name, device,
+                                                prepared, i)
+            assert post == scalar.post_status
+
+
+@needs_numpy
+def test_block_model_kernel_subsets_and_posts(photo_lab):
+    import numpy
+    cost_model, photo, cameras = photo_lab
+    args_list = [{"target": Point(10.0 + 7 * i, 4.0), "directory": "p"}
+                 for i in range(6)]
+    kernel = BlockModelKernel(cost_model, photo.name, cameras, args_list)
+    device_id = next(iter(cameras))
+    status = cameras[device_id].physical_status()
+    full = kernel.column(device_id, status)
+    indexes = numpy.array([4, 1, 1], dtype=numpy.intp)
+    assert list(kernel.column(device_id, status, indexes)) == [
+        full[4], full[1], full[1]]
+    scalar = cost_model.estimate(photo.name, cameras[device_id],
+                                 args_list[2], status=status)
+    assert kernel.post_status(2, device_id) == scalar.post_status
+
+
+@needs_numpy
+def test_unregistered_block_resolver_is_a_profile_error(photo_lab):
+    cost_model, photo, cameras = photo_lab
+    device = next(iter(cameras.values()))
+    with pytest.raises(ProfileError, match="block resolver"):
+        cost_model.prepare_block("no-such-action", device, [])
+
+
+# ----------------------------------------------------------------------
+# CachingCostModel: columns and per-device invalidation
+# ----------------------------------------------------------------------
+def test_estimate_column_fills_and_hits_the_memo():
+    problem = uniform_camera_workload(8, 2, seed=1)
+    cache = CachingCostModel(problem.cost_model)
+    device_id = problem.device_ids[0]
+    status = cache.initial_status(device_id)
+    column = cache.estimate_column(list(problem.requests), device_id,
+                                   status)
+    assert (cache.hits, cache.misses) == (0, 8)
+    again = cache.estimate_column(list(problem.requests), device_id,
+                                  status)
+    assert again == column
+    assert (cache.hits, cache.misses) == (8, 8)
+    for pair, request in zip(column, problem.requests):
+        assert pair == problem.cost_model.estimate(request, device_id,
+                                                   status)
+
+
+def test_invalidate_device_requires_tracking():
+    problem = uniform_camera_workload(4, 2, seed=0)
+    cache = CachingCostModel(problem.cost_model)
+    with pytest.raises(SchedulingError, match="track_devices"):
+        cache.invalidate_device(problem.device_ids[0])
+
+
+def test_invalidate_device_drops_only_that_device():
+    problem = uniform_camera_workload(6, 2, seed=2)
+    cache = CachingCostModel(problem.cost_model, track_devices=True)
+    d1, d2 = problem.device_ids
+    for device_id in (d1, d2):
+        cache.estimate_column(list(problem.requests), device_id,
+                              cache.initial_status(device_id))
+    assert cache.entries == 12
+    cache.invalidate_device(d1)
+    assert cache.entries == 6
+    cache.estimate_column(list(problem.requests), d2,
+                          cache.initial_status(d2))
+    assert cache.hits == 6  # d2's entries survived
+    cache.invalidate_device("never-seen")  # absent device: no-op
+
+
+def test_cache_forwards_initial_workload():
+    problem = uniform_camera_workload(4, 2, seed=0)
+    cache = CachingCostModel(problem.cost_model)
+    device_id = problem.device_ids[0]
+    assert cache.initial_workload(device_id) == \
+        problem.cost_model.initial_workload(device_id)
