@@ -35,6 +35,7 @@ from repro.devices import (
     SensorStimulus,
 )
 from repro.geometry import Point
+from repro.overload import OverloadPolicy, TierRate
 from repro.runtime import (
     RealtimeRuntime,
     Runtime,
@@ -52,6 +53,7 @@ __all__ = [
     "Environment",
     "HealthPolicy",
     "MobilePhone",
+    "OverloadPolicy",
     "PanTiltZoomCamera",
     "Point",
     "RealtimeRuntime",
@@ -59,6 +61,7 @@ __all__ = [
     "Runtime",
     "SensorMote",
     "SensorStimulus",
+    "TierRate",
     "VirtualRuntime",
     "create_runtime",
     "__version__",

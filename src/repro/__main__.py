@@ -32,7 +32,8 @@ Processing" (ICDCS 2005). See README.md, DESIGN.md, EXPERIMENTS.md.
 def _demo_engine(*, observability: bool = False,
                  runtime: str = "virtual",
                  time_scale: float = 1.0,
-                 fastpath: bool = False) -> AortaEngine:
+                 fastpath: bool = False,
+                 overload: bool = False) -> AortaEngine:
     """The Figure 1 scenario, built but not yet run.
 
     ``runtime="realtime"`` paces the same scenario against the wall
@@ -40,12 +41,23 @@ def _demo_engine(*, observability: bool = False,
     seconds; ``time_scale=0`` fires timers immediately, reproducing the
     virtual run exactly. ``fastpath`` switches on the comm fast path
     (connection pool + status cache + concurrent dispatch).
+    ``overload`` switches on the overload-control plane and additionally
+    injects a deterministic request storm so the admission, bounded
+    queue and shedding counters have something to report.
     """
+    policy = None
+    if overload:
+        from repro.overload import OverloadPolicy, TierRate
+        policy = OverloadPolicy(
+            tier_rates={1: TierRate(rate=1.0, burst=2.0)},
+            queue_limit=8,
+            shed_high_watermark=6, shed_low_watermark=2)
     config = EngineConfig(observability=observability,
                           runtime=runtime, time_scale=time_scale,
                           connection_pool=fastpath,
                           status_cache=fastpath,
-                          concurrent_dispatch=fastpath)
+                          concurrent_dispatch=fastpath,
+                          overload=overload, overload_policy=policy)
     engine = AortaEngine(config=config)
     env = engine.env
     engine.add_device(PanTiltZoomCamera(env, "cam1", Point(0, 0)))
@@ -59,9 +71,36 @@ def _demo_engine(*, observability: bool = False,
         WHERE s.accel_x > 500 AND coverage(c.id, s.loc)''')
     mote.inject(SensorStimulus("accel_x", start=2.0, duration=3.0,
                                magnitude=850.0))
+    if overload:
+        _inject_demo_storm(engine)
     engine.start()
     engine.run(until=30.0)
     return engine
+
+
+def _inject_demo_storm(engine: AortaEngine) -> None:
+    """A small deterministic photo storm for ``metrics --overload``."""
+    from repro.actions.request import ActionRequest
+    from repro.devices.failures import FailureInjector
+
+    operator = engine.dispatcher.operator_for(engine.actions.get("photo"))
+    candidates = ("cam1", "cam2")
+
+    def make_request(index: int, now: float) -> ActionRequest:
+        tier = 3 if index % 4 == 0 else (2 if index % 4 == 1 else 1)
+        deadline = None if tier == 3 else now + (3.0 if tier == 2 else 8.0)
+        return ActionRequest(
+            action_name="photo",
+            arguments={"target": Point(10.0 + index, 5.0),
+                       "directory": "photos/storm"},
+            created_at=now, candidates=candidates,
+            request_id=f"storm{index:02d}", priority=tier,
+            deadline=deadline)
+
+    injector = FailureInjector(engine.env)
+    injector.schedule_request_storm(
+        lambda request: engine.dispatcher.submit(operator, request),
+        make_request, start=1.0, duration=2.0, rate=10.0)
 
 
 def run_demo(*, runtime: str = "virtual",
@@ -78,15 +117,19 @@ def run_demo(*, runtime: str = "virtual",
 
 
 def run_metrics(*, as_json: bool = False, spans: bool = False,
-                fastpath: bool = False) -> int:
+                fastpath: bool = False, overload: bool = False) -> int:
     """Run the demo with observability on; export what it measured.
 
     With ``fastpath`` the comm fast path is enabled, so the snapshot
     additionally carries the ``comm.pool.*`` and ``probe.cache.*``
     counter families, and the text form appends a one-line summary of
-    each (JSON output stays pure metrics).
+    each (JSON output stays pure metrics). With ``overload`` the
+    overload-control plane is enabled against an injected request
+    storm, and the text form appends admitted/rejected/shed counts per
+    priority tier plus the peak pending-queue depth per operator.
     """
-    engine = _demo_engine(observability=True, fastpath=fastpath)
+    engine = _demo_engine(observability=True, fastpath=fastpath,
+                          overload=overload)
     snapshot = engine.metrics()
     if as_json:
         print(metrics_to_json(snapshot))
@@ -104,6 +147,27 @@ def run_metrics(*, as_json: bool = False, spans: bool = False,
                   f"{cache['misses']:.0f} misses "
                   f"(hit rate {cache['hit_rate']:.0%}), "
                   f"{cache['invalidations']:.0f} invalidations")
+        if engine.overload is not None:
+            stats = engine.overload.stats()
+            tiers = sorted(set(stats["admitted_by_tier"])
+                           | set(stats["rejected_by_tier"])
+                           | set(stats["shed_by_tier"]))
+            print("\noverload control (per priority tier):")
+            for tier in tiers:
+                print(f"  tier {tier}: "
+                      f"{stats['admitted_by_tier'].get(tier, 0)} admitted"
+                      f", {stats['rejected_by_tier'].get(tier, 0)} "
+                      f"rejected, {stats['shed_by_tier'].get(tier, 0)} "
+                      f"shed")
+            print(f"  queries: {stats['admitted_queries']} admitted, "
+                  f"{stats['rejected_queries']} rejected; "
+                  f"{stats['shed_passes']} shedder passes")
+            for name, operator in sorted(
+                    engine.dispatcher._operators.items()):
+                print(f"  peak queue depth [{name}]: "
+                      f"{operator.peak_pending}"
+                      + (f" (limit {operator.limit})"
+                         if operator.limit is not None else ""))
     if spans:
         print("\nspan tree:")
         print(span_tree_text(engine.tracer))
@@ -140,13 +204,19 @@ def main(argv: list[str] | None = None) -> int:
                          help="enable the comm fast path (connection "
                               "pool + status cache + concurrent "
                               "dispatch) and report its counters")
+    metrics.add_argument("--overload", action="store_true",
+                         help="enable the overload-control plane, "
+                              "inject a request storm, and report "
+                              "per-tier admission/shedding counters "
+                              "and peak queue depths")
     args = parser.parse_args(argv)
     if args.version:
         print(repro.__version__)
         return 0
     if args.command == "metrics":
         return run_metrics(as_json=args.json, spans=args.spans,
-                           fastpath=args.fastpath)
+                           fastpath=args.fastpath,
+                           overload=args.overload)
     print(BANNER)
     if args.demo:
         return run_demo(runtime=args.runtime, time_scale=args.time_scale)

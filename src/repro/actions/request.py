@@ -22,6 +22,10 @@ class RequestState(enum.Enum):
     ASSIGNED = "assigned"      # bound to a device, queued or running
     SERVICED = "serviced"      # action completed successfully
     FAILED = "failed"          # action failed on the device
+    # Overload-control outcomes (only reachable with the overload
+    # plane configured; see repro.overload).
+    SHED = "shed"              # accepted, then dropped by load-shedding
+    REJECTED = "rejected"      # refused at admission / queue backpressure
 
 
 @dataclass
@@ -55,6 +59,14 @@ class ActionRequest:
     #: Devices that failed this request, removed from its candidates by
     #: failover re-dispatch.
     failed_devices: Tuple[str, ...] = ()
+    #: Priority tier for overload control (larger = more important).
+    #: Load-shedding drops the lowest tiers first; tiers at or above
+    #: the policy's protected tier are never pressure-shed.
+    priority: int = 1
+    #: Absolute virtual-time service deadline; ``None`` = no deadline.
+    #: With overload control on, a request whose deadline has passed is
+    #: shed instead of serviced late.
+    deadline: Optional[float] = None
 
     def mark_assigned(self, device_id: str) -> None:
         """Record the scheduler's device choice."""
@@ -86,6 +98,22 @@ class ActionRequest:
         self.state = RequestState.FAILED
         self.completed_at = completed_at
         self.failure_reason = reason
+
+    def mark_shed(self, completed_at: float, reason: str) -> None:
+        """Record that overload control dropped this accepted request."""
+        self.state = RequestState.SHED
+        self.completed_at = completed_at
+        self.failure_reason = reason
+
+    def mark_rejected(self, at: float, reason: str) -> None:
+        """Record refusal at admission (the request never entered)."""
+        self.state = RequestState.REJECTED
+        self.completed_at = at
+        self.failure_reason = reason
+
+    def deadline_expired(self, now: float) -> bool:
+        """Whether the service deadline (if any) has already passed."""
+        return self.deadline is not None and now > self.deadline
 
     @property
     def completion_seconds(self) -> Optional[float]:

@@ -8,8 +8,9 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.errors import AortaError
 
-if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.devices.health import HealthPolicy
+    from repro.overload.policy import OverloadPolicy
 
 #: Scheduler names accepted by EngineConfig.scheduler.
 SCHEDULER_NAMES = ("LERFA+SRFE", "SRFAE", "LS", "SA", "RANDOM")
@@ -164,6 +165,16 @@ class EngineConfig:
     #: executions) and sharing one memoizing cost oracle per action
     #: across batches. Off by default.
     incremental: bool = False
+    #: Overload-control plane (repro.overload): admission control at
+    #: AQ registration and request ingestion, bounded pending queues
+    #: with backpressure, and priority load-shedding with deadlines.
+    #: Off by default: the off path is byte-identical to a
+    #: pre-overload engine (golden-gated).
+    overload: bool = False
+    #: Overload-plane tunables; ``None`` uses the defaults of
+    #: :class:`~repro.overload.policy.OverloadPolicy`. Only read when
+    #: ``overload`` is True.
+    overload_policy: Optional["OverloadPolicy"] = None
 
     def __post_init__(self) -> None:
         if self.poll_interval <= 0:

@@ -12,9 +12,14 @@ instantiated action request to the shared action operator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List
+from typing import Any, Dict, Generator, List, Optional
 
-from repro.errors import AortaError, PlanError, RegistrationError
+from repro.errors import (
+    AdmissionError,
+    AortaError,
+    PlanError,
+    RegistrationError,
+)
 from repro.actions.request import ActionRequest
 from repro.comm.layer import CommunicationLayer
 from repro.comm.scan import ScanOperator
@@ -45,6 +50,15 @@ class RegisteredQuery:
     #: Events whose candidate set was empty (e.g. no camera covers the
     #: sensor's location) — nothing to schedule.
     uncovered_events: int = 0
+    #: Priority tier stamped on every request this query emits (only
+    #: meaningful with overload control on; larger = more important).
+    priority: int = 1
+    #: Relative service deadline for emitted requests, in virtual
+    #: seconds from emission; ``None`` = no deadline.
+    deadline_seconds: Optional[float] = None
+    #: Requests refused by admission control or queue backpressure
+    #: (stays zero with overload control off).
+    requests_rejected: int = 0
 
     @property
     def name(self) -> str:
@@ -84,14 +98,36 @@ class ContinuousQueryExecutor:
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
-    def register(self, plan: ContinuousPlan) -> RegisteredQuery:
-        """Install a planned AQ (the CREATE AQ effect)."""
+    def register(self, plan: ContinuousPlan, *, priority: int = 1,
+                 deadline_seconds: Optional[float] = None,
+                 ) -> RegisteredQuery:
+        """Install a planned AQ (the CREATE AQ effect).
+
+        ``priority`` and ``deadline_seconds`` are stamped on every
+        request the query emits; they only influence behaviour when the
+        engine's overload-control plane is on. Registration itself is
+        an admission unit: with overload control on, a configured
+        per-tier registration rate limit may refuse the AQ with
+        :class:`~repro.errors.AdmissionError`.
+        """
         if plan.query_name in self.queries:
             raise RegistrationError(
                 f"query {plan.query_name!r} is already registered"
             )
         self._check_candidate_predicate(plan)
-        query = RegisteredQuery(plan=plan)
+        plane = self.dispatcher.overload
+        if plane is not None:
+            reason = plane.admission.admit_query(priority, self.env.now)
+            if reason is not None:
+                self.dispatcher.tracer.record(
+                    self.env.now, "query_rejected",
+                    query=plan.query_name, priority=priority,
+                    reason=reason)
+                raise AdmissionError(
+                    f"registration of {plan.query_name!r} refused: "
+                    f"{reason}")
+        query = RegisteredQuery(plan=plan, priority=priority,
+                                deadline_seconds=deadline_seconds)
         self.dispatcher.operator_for(plan.action).attach(plan.query_name)
         self.queries[plan.query_name] = query
         self._queries_by_table.setdefault(plan.event_table, []).append(query)
@@ -228,32 +264,47 @@ class ContinuousQueryExecutor:
         self.dispatcher.tracer.record(
             self.env.now, "request_emitted", query=plan.query_name,
             action=plan.action.name, candidates=len(candidates))
+        deadline = (None if query.deadline_seconds is None
+                    else self.env.now + query.deadline_seconds)
+        emitted_any = False
         if plan.action.select_all:
             # Fan out: one single-candidate request per device, so the
             # action runs on every candidate (extension semantics).
             for device_id in candidates:
-                operator.submit(ActionRequest(
+                request = ActionRequest(
                     action_name=plan.action.name,
                     arguments=dict(arguments),
                     query_id=plan.query_name,
                     created_at=self.env.now,
                     candidates=(device_id,),
-                ))
-                query.requests_emitted += 1
-                self.obs.inc("continuous.requests_emitted",
-                             query=plan.query_name)
+                    priority=query.priority,
+                    deadline=deadline,
+                )
+                if self.dispatcher.submit(operator, request):
+                    emitted_any = True
+                    query.requests_emitted += 1
+                    self.obs.inc("continuous.requests_emitted",
+                                 query=plan.query_name)
+                else:
+                    query.requests_rejected += 1
         else:
-            operator.submit(ActionRequest(
+            request = ActionRequest(
                 action_name=plan.action.name,
                 arguments=arguments,
                 query_id=plan.query_name,
                 created_at=self.env.now,
                 candidates=tuple(candidates),
-            ))
-            query.requests_emitted += 1
-            self.obs.inc("continuous.requests_emitted",
-                         query=plan.query_name)
-        return True
+                priority=query.priority,
+                deadline=deadline,
+            )
+            if self.dispatcher.submit(operator, request):
+                emitted_any = True
+                query.requests_emitted += 1
+                self.obs.inc("continuous.requests_emitted",
+                             query=plan.query_name)
+            else:
+                query.requests_rejected += 1
+        return emitted_any
 
     def _candidates(self, plan: ContinuousPlan,
                     event_context: EvaluationContext) -> List[str]:

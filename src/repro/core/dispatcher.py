@@ -20,6 +20,7 @@ from repro.errors import (
     CommunicationError,
     DeviceError,
     QueryError,
+    QueueFullError,
     SchedulingError,
     is_transient,
 )
@@ -48,6 +49,8 @@ from repro.scheduling import (
     freeze_status,
 )
 from repro.obs.spans import NULL_OBS, Observability, SpanContext
+from repro.overload.plane import OverloadControlPlane
+from repro.overload.shedding import REASON_DEADLINE
 from repro.runtime import Runtime
 from repro.sim import Event
 from repro.sim.rng import component_seed
@@ -136,6 +139,18 @@ class _ActionCostAdapter(SchedulingCostModel):
             [request.payload.arguments for request in problem.requests])
 
 
+def _service_order(request: ActionRequest) -> Tuple[int, float, float]:
+    """Within-device service order under overload control.
+
+    Highest tier first, then tightest deadline, then oldest. The sort
+    is stable, so requests tied on all three keep the scheduler's
+    completion-time-optimal order.
+    """
+    deadline = request.deadline if request.deadline is not None \
+        else float("inf")
+    return (-request.priority, deadline, request.created_at)
+
+
 def _request_fingerprint(request: SchedRequest) -> Hashable:
     """Cross-batch identity of an engine action request.
 
@@ -211,6 +226,7 @@ class Dispatcher:
         health: Optional[DeviceHealthTracker] = None,
         obs: Optional[Observability] = None,
         status_cache: Optional[DeviceStatusCache] = None,
+        overload: Optional[OverloadControlPlane] = None,
     ) -> None:
         from repro.core.tracing import EngineTracer
         self.env = env
@@ -248,6 +264,14 @@ class Dispatcher:
                 status_cache.invalidation_listeners.append(
                     lambda device_id, reason: self._mark_dirty(device_id))
         self._operators: Dict[str, SharedActionOperator] = {}
+        #: The overload-control plane (None = overload control off, the
+        #: pre-overload behaviour: unbounded queues, no admission, no
+        #: shedding).
+        self.overload = overload
+        if overload is not None:
+            overload.bind(
+                operators=lambda: list(self._operators.values()),
+                shed=self.shed_request)
         self._wakeup: Optional[Event] = None
         self._running = False
         #: Deterministic jitter stream for retry backoff, derived from
@@ -265,6 +289,8 @@ class Dispatcher:
         self.attempts_total = 0
         self.retries_total = 0
         self.failovers_total = 0
+        #: Overload counter (stays zero with overload control off).
+        self.shed_total = 0
 
     # ------------------------------------------------------------------
     # Incremental warm-start state
@@ -308,12 +334,47 @@ class Dispatcher:
         if action.name not in self._operators:
             operator = SharedActionOperator(action)
             operator.on_submit = self._on_submit
+            if self.overload is not None:
+                self.overload.configure_operator(
+                    operator, on_evict=self.shed_request)
             self._operators[action.name] = operator
         return self._operators[action.name]
 
     def _on_submit(self, request: ActionRequest) -> None:
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed()
+
+    def submit(self, operator: SharedActionOperator,
+               request: ActionRequest) -> bool:
+        """Submit one request, through the overload plane when present.
+
+        Without overload control this is a plain operator submit that
+        always succeeds; with it, the request passes admission control
+        and bounded-queue backpressure first and may come back False
+        (the request is then marked REJECTED and fully accounted).
+        """
+        if self.overload is None:
+            operator.submit(request)
+            return True
+        return self.overload.offer(operator, request)
+
+    def shed_request(self, request: ActionRequest, reason: str) -> None:
+        """Uniform shed accounting for every drop path.
+
+        Deadline expiry, pressure shedding, queue eviction and
+        backpressure on failover re-queue all land here: the request is
+        marked SHED, enters the completion log, and is traced and
+        counted once — no path leaks dropped work into pending counts.
+        """
+        request.mark_shed(self.env.now, reason)
+        self.completed.append(request)
+        self.shed_total += 1
+        self.tracer.record(
+            self.env.now, "request_shed", request=request.request_id,
+            action=request.action_name, query=request.query_id,
+            priority=request.priority, reason=reason)
+        if self.overload is not None:
+            self.overload.note_shed(request, reason)
 
     @property
     def pending_requests(self) -> int:
@@ -404,6 +465,16 @@ class Dispatcher:
     ) -> Generator[Any, Any, DispatchReport]:
         batch_started = self.env.now
         policy = self.config.retry
+        if self.overload is not None:
+            # Shed already-expired requests before spending probe and
+            # scheduling work on them — a late answer has no value.
+            alive: List[ActionRequest] = []
+            for request in batch:
+                if request.deadline_expired(batch_started):
+                    self.shed_request(request, REASON_DEADLINE)
+                else:
+                    alive.append(request)
+            batch = alive
         if policy.failover:
             # Failover re-dispatch re-enters through the shared
             # operator, so make sure it exists even for direct callers.
@@ -481,7 +552,11 @@ class Dispatcher:
                 schedulable.append(request)
             elif self._requeue_for_failover(request, None,
                                             "no available candidate"):
-                failed_over += 1
+                # Backpressure on the re-queue sheds instead (handled
+                # inside _requeue_for_failover); only a still-pending
+                # request counts as failed over.
+                if request.state is RequestState.PENDING:
+                    failed_over += 1
             else:
                 request.mark_failed(self.env.now, "no available candidate")
                 self.completed.append(request)
@@ -535,10 +610,16 @@ class Dispatcher:
                 for device_id, queue in schedule.assignments.items():
                     if not queue:
                         continue
+                    requests = [by_id[request_id] for request_id in queue]
+                    if self.overload is not None:
+                        # Service high tiers first within each device
+                        # queue (stable, so the scheduler's order is
+                        # kept within a tier) — under pressure the
+                        # work most worth doing completes first.
+                        requests.sort(key=_service_order)
                     executions.append(self.env.process(
                         self._service_queue(
-                            action, devices[device_id],
-                            [by_id[request_id] for request_id in queue],
+                            action, devices[device_id], requests,
                             batch_span)
                     ).defuse())
             else:
@@ -566,6 +647,9 @@ class Dispatcher:
                 elif request.state is RequestState.PENDING:
                     # Requeued for failover: alive, completes later.
                     failed_over += 1
+                    continue
+                elif request.state is RequestState.SHED:
+                    # shed_request already completed and counted it.
                     continue
                 else:
                     failed += 1
@@ -631,6 +715,12 @@ class Dispatcher:
         """Service one device's queue in order, under its lock."""
         lease = self.config.lock_lease_seconds
         for index, request in enumerate(queue):
+            if self.overload is not None and \
+                    request.deadline_expired(self.env.now):
+                # Earlier work on this device already blew the deadline:
+                # shed instead of executing a worthless late action.
+                self.shed_request(request, REASON_DEADLINE)
+                continue
             token = LockToken(request.request_id)
             yield from self.locks.acquire(device.device_id, token,
                                           lease_seconds=lease)
@@ -644,6 +734,14 @@ class Dispatcher:
                 # the dispatcher for reassignment instead of grinding
                 # through attempts that are doomed to the same fate.
                 for waiting in queue[index + 1:]:
+                    if self.overload is not None and \
+                            waiting.deadline_expired(self.env.now):
+                        # The drain runs the same shed accounting as
+                        # deadline eviction: a request that expired
+                        # while queued behind the dead device is shed,
+                        # not failed or leaked back into pending.
+                        self.shed_request(waiting, REASON_DEADLINE)
+                        continue
                     if not self._requeue_for_failover(
                             waiting, device.device_id,
                             "queue drained after device failure"):
@@ -698,9 +796,11 @@ class Dispatcher:
                     # whatever the outcome.
                     self.status_cache.invalidate(device.device_id,
                                                  reason="execution")
-        if request.state is RequestState.PENDING:
-            # Requeued for failover: completion is traced by the batch
-            # that finally services (or fails) it.
+        if request.state in (RequestState.PENDING, RequestState.SHED):
+            # PENDING: requeued for failover — completion is traced by
+            # the batch that finally services (or fails) it. SHED: the
+            # failover re-queue hit backpressure and shed_request
+            # already traced and completed it.
             return
         kind = ("request_serviced" if request.state is RequestState.SERVICED
                 else "request_failed")
@@ -782,7 +882,15 @@ class Dispatcher:
         if operator is None:  # pragma: no cover - defensive
             return False
         request.mark_requeued(failed_device)
-        operator.submit(request)
+        try:
+            operator.submit(request)
+        except QueueFullError:
+            # Bounded queue refused the re-entry: the request was
+            # already admitted once, so this is a shed (accounted,
+            # completed), not a silent failure. Returning True tells
+            # the caller the request needs no further handling.
+            self.shed_request(request, "queue-full")
+            return True
         self.failovers_total += 1
         self.obs.inc("dispatch.failovers")
         self.tracer.record(

@@ -23,6 +23,7 @@ from repro.devices.camera import PanTiltZoomCamera
 from repro.devices.health import BreakerState, DeviceHealthTracker
 from repro.geometry import Point
 from repro.network.link import LinkModel
+from repro.overload import OverloadControlPlane, OverloadPolicy
 from repro.plan.planner import Planner, SnapshotPlan
 from repro.profiles.action_profile import ActionProfile
 from repro.profiles.defaults import register_builtin_types
@@ -138,12 +139,24 @@ class AortaEngine:
                 # status so nothing is reused across a quarantine edge.
                 self.health.transition_listeners.append(
                     self._on_breaker_transition)
+        #: Overload-control plane (DESIGN.md decision 12); None unless
+        #: config.overload, and the off path is byte-identical to a
+        #: pre-overload engine.
+        self.overload: Optional[OverloadControlPlane] = None
+        if self.config.overload:
+            policy = self.config.overload_policy or OverloadPolicy()
+            self.overload = OverloadControlPlane(
+                self.env, policy, self.cost_model,
+                device_lookup=self.comm.registry.get,
+                fleet_size=lambda: len(self.comm.registry),
+                tracer=self.tracer, obs=self.obs)
         self.dispatcher = Dispatcher(self.env, self.comm, self.cost_model,
                                      self.locks, self.config,
                                      tracer=self.tracer,
                                      health=self.health,
                                      obs=self.obs,
-                                     status_cache=self.status_cache)
+                                     status_cache=self.status_cache,
+                                     overload=self.overload)
         self.planner = Planner(self.schema, self.actions, self.functions,
                                self.comm)
         self.continuous = ContinuousQueryExecutor(
@@ -316,6 +329,25 @@ class AortaEngine:
         plan = self.planner.plan_continuous(statement.name, statement.query)
         return self.continuous.register(plan)
 
+    def create_aq(self, sql: str, *, priority: int = 1,
+                  deadline_seconds: Optional[float] = None,
+                  ) -> RegisteredQuery:
+        """CREATE AQ with an overload-control service class.
+
+        Like :meth:`execute` on a CREATE AQ statement, but stamps the
+        query's priority tier and relative service deadline (virtual
+        seconds from emission) onto every request it emits. The class
+        only influences behaviour when ``config.overload`` is on; with
+        admission rate limits configured, registration itself may be
+        refused with :class:`~repro.errors.AdmissionError`.
+        """
+        statement = parse(sql)
+        if not isinstance(statement, CreateAQStatement):
+            raise QueryError("create_aq() expects a CREATE AQ statement")
+        plan = self.planner.plan_continuous(statement.name, statement.query)
+        return self.continuous.register(plan, priority=priority,
+                                        deadline_seconds=deadline_seconds)
+
     def enable_query(self, name: str) -> None:
         """Resume a paused continuous query."""
         self._query(name).enabled = True
@@ -343,6 +375,8 @@ class AortaEngine:
         self._started = True
         self.dispatcher.start()
         self.continuous.start()
+        if self.overload is not None:
+            self.overload.start()
 
     def run(self, until: float,
             max_events: Optional[int] = None) -> float:
@@ -456,4 +490,17 @@ class AortaEngine:
         if self.config.incremental:
             for key, value in self.dispatcher.incremental_stats.items():
                 stats[f"incremental_{key}"] = value
+        # Overload keys appear only when the plane is on, so
+        # overload-off snapshots stay identical to pre-overload ones.
+        if self.overload is not None:
+            stats["requests_shed"] = self.dispatcher.shed_total
+            for key, value in self.overload.stats().items():
+                stats[f"overload_{key}"] = value
+            stats["overload_peak_queue_depth"] = {
+                name: operator.peak_pending
+                for name, operator in sorted(
+                    self.dispatcher._operators.items())}
+            stats["overload_queue_evictions"] = sum(
+                operator.total_evicted
+                for operator in self.dispatcher._operators.values())
         return stats

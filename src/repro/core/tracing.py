@@ -32,6 +32,13 @@ TRACE_KINDS = (
     "device_readmitted",
     # Observability layer: one record per closed virtual-time span.
     "span",
+    # Overload-control plane: admission refusals, shed work and the
+    # hysteresis edges of pressure shedding.
+    "request_rejected",
+    "request_shed",
+    "query_rejected",
+    "shedding_started",
+    "shedding_stopped",
 )
 
 _KNOWN_KINDS = frozenset(TRACE_KINDS)

@@ -74,6 +74,11 @@ class Device:
         self.operations_executed = 0
         #: Virtual seconds this device has spent busy on operations.
         self.busy_seconds = 0.0
+        #: Straggler injection: every operation duration is multiplied
+        #: by this factor (1.0 = nominal; ``x * 1.0`` is bit-exact, so
+        #: a never-inflated device is byte-identical to one built
+        #: before the knob existed). Set by FailureInjector stragglers.
+        self.slowdown_factor = 1.0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -136,6 +141,15 @@ class Device:
         to the cost model for device-selection optimization.
         """
         return {}
+
+    def service_seconds(self, seconds: float) -> float:
+        """Operation duration after straggler inflation.
+
+        Device operation handlers route every physical-model duration
+        through this, so an injected slowdown stretches real work
+        uniformly without touching the per-operation models.
+        """
+        return seconds * self.slowdown_factor
 
     # ------------------------------------------------------------------
     # Operations

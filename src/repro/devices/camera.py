@@ -293,7 +293,8 @@ class PanTiltZoomCamera(Device):
         self._active_connections += 1
         # Each concurrent client slows the control channel down.
         penalty = 1.0 + 0.5 * (self._active_connections - 1)
-        yield self.env.timeout(self.calibration.connect_seconds * penalty)
+        yield self.env.timeout(self.service_seconds(
+            self.calibration.connect_seconds * penalty))
 
     def release_connection(self) -> None:
         """Close one control connection opened by :meth:`op_connect`."""
@@ -311,7 +312,8 @@ class PanTiltZoomCamera(Device):
         """
         now = self.env.now
         origin = self._motion.position_at(now)
-        duration = origin.movement_seconds(target, self.calibration)
+        duration = self.service_seconds(
+            origin.movement_seconds(target, self.calibration))
         self._motion = _Motion(
             origin=origin, target=target, started_at=now,
             duration=duration, epoch=self._motion.epoch + 1,
@@ -323,7 +325,8 @@ class PanTiltZoomCamera(Device):
     def _capture(self, size: str) -> Generator[Any, Any, Photo]:
         if size not in PHOTO_SIZES:
             raise DeviceError(f"unknown photo size {size!r}")
-        exposure = self.calibration.capture_seconds[size]
+        exposure = self.service_seconds(
+            self.calibration.capture_seconds[size])
         moving_before = self.head_moving
         head_before = self.head_position()
         yield self.env.timeout(exposure)
@@ -354,7 +357,8 @@ class PanTiltZoomCamera(Device):
 
     def op_store(self) -> Generator[Any, Any, None]:
         """Persist the last capture to storage."""
-        yield self.env.timeout(self.calibration.store_seconds)
+        yield self.env.timeout(self.service_seconds(
+            self.calibration.store_seconds))
 
     # ------------------------------------------------------------------
     # The composite photo() behaviour (device side)

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
-from repro.errors import DeviceError
+from repro.errors import DeviceError, QueueFullError
+from repro.actions.request import ActionRequest
 from repro.devices.base import Device
 from repro.runtime import Runtime
 
@@ -34,12 +35,41 @@ class OutageSpec:
             raise DeviceError(f"unknown outage kind {self.kind!r}")
 
 
+@dataclass(frozen=True)
+class StragglerSpec:
+    """One planned straggler episode: a device runs slow for a while.
+
+    "Slow" means every operation duration is multiplied by ``factor``
+    (via :meth:`Device.service_seconds`) between ``start`` and
+    ``start + duration`` — the device stays online and answers probes,
+    which is exactly what makes stragglers harder on the scheduler
+    than outages: cost estimates stay optimistic while actual service
+    times balloon.
+    """
+
+    device_id: str
+    start: float
+    duration: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise DeviceError("straggler duration must be positive")
+        if self.factor <= 1.0:
+            raise DeviceError(
+                f"straggler factor must exceed 1.0, got {self.factor}")
+
+
 class FailureInjector:
-    """Schedules outage episodes onto simulated devices."""
+    """Schedules outage, straggler and storm episodes onto the sim."""
 
     def __init__(self, env: Runtime) -> None:
         self.env = env
         self.scheduled: List[OutageSpec] = []
+        self.scheduled_stragglers: List[StragglerSpec] = []
+        #: Storm submissions refused by backpressure/admission, per
+        #: storm in scheduling order.
+        self.storm_rejected: List[int] = []
 
     def schedule_outage(self, device: Device, spec: OutageSpec) -> None:
         """Arrange for ``device`` to fail per ``spec``."""
@@ -97,6 +127,150 @@ class FailureInjector:
         phone.leave_coverage()
         yield self.env.timeout(duration)
         phone.enter_coverage()
+
+    # ------------------------------------------------------------------
+    # Stragglers: slow devices, not dead ones
+    # ------------------------------------------------------------------
+    def schedule_straggler(self, device: Device,
+                           spec: StragglerSpec) -> None:
+        """Arrange for ``device`` to run slow per ``spec``.
+
+        The inflation composes multiplicatively with any slowdown
+        already in force when the episode starts (overlapping episodes
+        stack), and the episode end restores exactly the factor it
+        found — never clobbering a concurrent episode's contribution.
+        """
+        if spec.device_id != device.device_id:
+            raise DeviceError(
+                f"straggler for {spec.device_id!r} scheduled on device "
+                f"{device.device_id!r}"
+            )
+        if spec.start < self.env.now:
+            raise DeviceError(
+                f"straggler for {spec.device_id!r} starts at {spec.start} "
+                f"but the clock is already at {self.env.now}"
+            )
+        self.scheduled_stragglers.append(spec)
+        self.env.process(self._run_straggler(device, spec))
+
+    def _run_straggler(self, device: Device, spec: StragglerSpec):
+        delay = spec.start - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        device.slowdown_factor *= spec.factor
+        yield self.env.timeout(spec.duration)
+        device.slowdown_factor /= spec.factor
+
+    def random_stragglers(
+        self,
+        devices: List[Device],
+        *,
+        horizon: float,
+        straggler_rate_per_device: float,
+        factor_range: Tuple[float, float] = (2.0, 8.0),
+        mean_duration: float = 20.0,
+        rng: Optional[random.Random] = None,
+    ) -> int:
+        """Random straggler episodes across ``devices``.
+
+        Mirrors :meth:`random_outages`: deterministic given an explicit
+        ``rng``, per-device substreams (labelled ``straggler:<id>`` so
+        they never collide with the outage substreams of the same base
+        seed), and horizon clamping so every episode also *ends* inside
+        the horizon. Returns the number of episodes scheduled.
+        """
+        if horizon <= 0:
+            raise DeviceError("horizon must be positive")
+        low, high = factor_range
+        if not 1.0 < low <= high:
+            raise DeviceError(
+                f"factor_range must satisfy 1 < low <= high, got "
+                f"{factor_range}")
+        from repro.sim.rng import derive_seed
+        rng = rng or random.Random(0)
+        base_seed = rng.getrandbits(64)
+        end_limit = self.env.now + horizon
+        count = 0
+        for device in devices:
+            device_rng = random.Random(
+                derive_seed(base_seed, f"straggler:{device.device_id}"))
+            expected = straggler_rate_per_device * horizon
+            episodes = int(expected) + (
+                1 if device_rng.random() < expected % 1 else 0)
+            if not episodes:
+                continue
+            for _ in range(episodes):
+                start = self.env.now + device_rng.uniform(0, horizon)
+                duration = max(
+                    device_rng.expovariate(1.0 / mean_duration), 1e-3)
+                factor = device_rng.uniform(low, high)
+                if start >= end_limit:
+                    continue
+                duration = min(duration, end_limit - start)
+                self.schedule_straggler(device, StragglerSpec(
+                    device_id=device.device_id, start=start,
+                    duration=duration, factor=factor,
+                ))
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Request storms: overload, not failure
+    # ------------------------------------------------------------------
+    def schedule_request_storm(
+        self,
+        submit: Callable[[ActionRequest], Any],
+        make_request: Callable[[int, float], ActionRequest],
+        *,
+        start: float,
+        duration: float,
+        rate: float,
+    ) -> int:
+        """Inject a deterministic flood of action requests.
+
+        ``rate`` requests per virtual second arrive uniformly spaced
+        over ``[start, start + duration)``; request ``i`` is built by
+        ``make_request(i, arrival_time)`` at its arrival instant and
+        handed to ``submit`` (typically ``dispatcher.submit`` bound to
+        an operator, or a bare ``operator.submit``). Refusals — a
+        False return or :class:`~repro.errors.QueueFullError` — are
+        tallied in :attr:`storm_rejected`; without overload control
+        neither occurs and the storm just grows the pending queue.
+        Returns the number of arrivals scheduled.
+        """
+        if duration <= 0:
+            raise DeviceError("storm duration must be positive")
+        if rate <= 0:
+            raise DeviceError("storm rate must be positive")
+        if start < self.env.now:
+            raise DeviceError(
+                f"storm starts at {start} but the clock is already at "
+                f"{self.env.now}")
+        count = int(rate * duration)
+        storm_index = len(self.storm_rejected)
+        self.storm_rejected.append(0)
+        self.env.process(self._run_storm(submit, make_request, start,
+                                         rate, count, storm_index))
+        return count
+
+    def _run_storm(self, submit, make_request, start: float, rate: float,
+                   count: int, storm_index: int):
+        delay = start - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        previous = self.env.now
+        for index in range(count):
+            arrival = start + index / rate
+            if arrival > previous:
+                yield self.env.timeout(arrival - previous)
+                previous = arrival
+            request = make_request(index, self.env.now)
+            try:
+                accepted = submit(request)
+            except QueueFullError:
+                accepted = False
+            if accepted is False:
+                self.storm_rejected[storm_index] += 1
 
     def random_outages(
         self,

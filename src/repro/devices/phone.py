@@ -115,13 +115,13 @@ class MobilePhone(Device):
     def op_connect(self) -> Generator[Any, Any, None]:
         """Page the phone through the carrier network."""
         self._require_coverage()
-        yield self.env.timeout(0.3)
+        yield self.env.timeout(self.service_seconds(0.3))
         self._require_coverage()
 
     def op_receive_sms(self, sender: str, body: str) -> Generator[Any, Any, TextMessage]:
         """Deliver a plain text message."""
         self._require_coverage()
-        yield self.env.timeout(SMS_SECONDS)
+        yield self.env.timeout(self.service_seconds(SMS_SECONDS))
         self._require_coverage()
         message = TextMessage(kind="sms", sender=sender, body=body,
                               received_at=self.env.now)
@@ -138,7 +138,8 @@ class MobilePhone(Device):
         if size_kb <= 0:
             raise DeviceError(f"MMS size must be positive, got {size_kb}")
         self._require_coverage()
-        yield self.env.timeout(MMS_FIXED_SECONDS + MMS_PER_KB_SECONDS * size_kb)
+        yield self.env.timeout(self.service_seconds(
+            MMS_FIXED_SECONDS + MMS_PER_KB_SECONDS * size_kb))
         self._require_coverage()
         message = TextMessage(kind="mms", sender=sender, body=body,
                               attachment=attachment, received_at=self.env.now)

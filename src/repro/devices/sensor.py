@@ -166,7 +166,8 @@ class SensorMote(Device):
         and every hop is a chance for the lossy radio to drop us."""
         self._drain("connect")
         for _ in range(self.hop_depth):
-            yield self.env.timeout(self.per_hop_seconds)
+            yield self.env.timeout(self.service_seconds(
+                self.per_hop_seconds))
             if not self.radio_delivers():
                 raise CommunicationError(
                     f"sensor {self.device_id}: radio packet lost en route"
@@ -175,15 +176,15 @@ class SensorMote(Device):
     def op_read_sample(self) -> Generator[Any, Any, Dict[str, float]]:
         """Sample every sensory attribute once."""
         self._drain("read_sample")
-        yield self.env.timeout(0.01)
+        yield self.env.timeout(self.service_seconds(0.01))
         return {name: self.read_sensory(name) for name in BASELINES}
 
     def op_beep(self) -> Generator[Any, Any, None]:
         """Sound the on-board buzzer once."""
         self._drain("beep")
-        yield self.env.timeout(0.5)
+        yield self.env.timeout(self.service_seconds(0.5))
 
     def op_blink(self) -> Generator[Any, Any, None]:
         """Flash the on-board LEDs once."""
         self._drain("blink")
-        yield self.env.timeout(0.25)
+        yield self.env.timeout(self.service_seconds(0.25))

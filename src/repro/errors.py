@@ -138,3 +138,28 @@ class InfeasibleScheduleError(SchedulingError):
 
 class RegistrationError(AortaError):
     """An action, query or device was registered twice or inconsistently."""
+
+
+class OverloadError(AortaError):
+    """The overload-control plane refused or dropped work.
+
+    Overload conditions heal when offered load falls (queues drain,
+    token buckets refill), so these errors are transient: a producer
+    that backs off and re-offers later may succeed.
+    """
+
+    transient = True
+
+
+class AdmissionError(OverloadError):
+    """Admission control rejected a query registration or a request."""
+
+
+class QueueFullError(OverloadError):
+    """A bounded pending queue refused a submission (backpressure).
+
+    Raised by :meth:`~repro.plan.action_op.SharedActionOperator.submit`
+    when the operator's queue is at its limit and the incoming request
+    is the least worth keeping. The producer should treat this as a
+    deferred-retry signal, not a permanent failure.
+    """

@@ -1,0 +1,132 @@
+"""Admission control: token buckets and the fleet-capacity window.
+
+Two independent gates, both deterministic on the virtual clock:
+
+* **Rate limits** — one lazily refilled token bucket per priority tier
+  (and a separate set for AQ registrations, so standing queries are
+  first-class admission units, not just the requests they emit).
+* **Capacity** — each admitted request commits its cost-oracle service
+  estimate against the fleet's available device-seconds for the
+  current accounting window (``fleet_size * horizon * utilization_cap``);
+  once the window is fully committed, further requests are refused
+  until the next window opens.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.overload.policy import OverloadPolicy, TierRate
+
+#: Machine-readable rejection reasons (also used as trace/metric tags).
+REASON_RATE = "admission-rate"
+REASON_CAPACITY = "admission-capacity"
+
+
+class TokenBucket:
+    """A virtual-time token bucket, refilled lazily on each take.
+
+    No background process: the refill is computed from the elapsed
+    virtual time at the moment of the take, so behaviour is a pure
+    function of the (now, take) call sequence — identical on the
+    virtual and realtime backends.
+    """
+
+    def __init__(self, rate: float, burst: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self._tokens = burst
+        self._updated = 0.0
+        self.granted = 0
+        self.refused = 0
+
+    def try_take(self, now: float) -> bool:
+        """Take one token if available; refill for elapsed time first."""
+        if now > self._updated:
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._updated)
+                               * self.rate)
+            self._updated = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.granted += 1
+            return True
+        self.refused += 1
+        return False
+
+
+class AdmissionController:
+    """The two admission gates, shared by registration and ingestion."""
+
+    def __init__(self, policy: OverloadPolicy,
+                 fleet_size: Callable[[], int]) -> None:
+        self.policy = policy
+        self._fleet_size = fleet_size
+        self._request_buckets = self._build_buckets(policy.tier_rates)
+        self._registration_buckets = self._build_buckets(
+            policy.registration_rates)
+        #: Capacity window accounting: index of the window last charged
+        #: and service-seconds committed within it.
+        self._window_index = -1
+        self._committed_seconds = 0.0
+        self.admitted_queries = 0
+        self.rejected_queries = 0
+        self.admitted_requests = 0
+        self.rejected_requests = 0
+
+    @staticmethod
+    def _build_buckets(
+        rates: Optional[Dict[int, TierRate]],
+    ) -> Dict[int, TokenBucket]:
+        if not rates:
+            return {}
+        return {tier: TokenBucket(spec.rate, spec.burst)
+                for tier, spec in sorted(rates.items())}
+
+    # ------------------------------------------------------------------
+    # Capacity window
+    # ------------------------------------------------------------------
+    def _window_available(self, now: float) -> float:
+        """Uncommitted device-seconds in the current window."""
+        horizon = self.policy.capacity_horizon
+        index = int(now // horizon)
+        if index != self._window_index:
+            self._window_index = index
+            self._committed_seconds = 0.0
+        budget = (self._fleet_size() * horizon
+                  * self.policy.utilization_cap)
+        return budget - self._committed_seconds
+
+    # ------------------------------------------------------------------
+    # The gates
+    # ------------------------------------------------------------------
+    def admit_query(self, priority: int, now: float) -> Optional[str]:
+        """Gate one AQ registration; ``None`` = admitted, else reason."""
+        bucket = self._registration_buckets.get(priority)
+        if bucket is not None and not bucket.try_take(now):
+            self.rejected_queries += 1
+            return REASON_RATE
+        self.admitted_queries += 1
+        return None
+
+    def admit_request(self, priority: int, estimated_seconds: float,
+                      now: float) -> Optional[str]:
+        """Gate one action request; ``None`` = admitted, else reason.
+
+        Admitting commits ``estimated_seconds`` against the current
+        capacity window. Tiers at or above ``capacity_protect_tier``
+        bypass the capacity gate (their load is still accounted, so
+        lower tiers see it).
+        """
+        bucket = self._request_buckets.get(priority)
+        if bucket is not None and not bucket.try_take(now):
+            self.rejected_requests += 1
+            return REASON_RATE
+        available = self._window_available(now)
+        if (priority < self.policy.capacity_protect_tier
+                and estimated_seconds > available):
+            self.rejected_requests += 1
+            return REASON_CAPACITY
+        self._committed_seconds += estimated_seconds
+        self.admitted_requests += 1
+        return None

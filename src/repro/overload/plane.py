@@ -1,0 +1,211 @@
+"""The overload-control plane facade.
+
+One object ties the three mechanisms together for the engine:
+
+* admission control (:mod:`repro.overload.admission`) gates AQ
+  registration and every request offered to a shared operator, with
+  service-second estimates drawn from the engine cost oracle;
+* bounded queues (``SharedActionOperator.limit``) are configured on
+  every operator the dispatcher creates, with evictions routed back
+  through the uniform shed-accounting path;
+* the load shedder (:mod:`repro.overload.shedding`) runs as a periodic
+  process over the dispatcher's operators.
+
+The plane also owns the overload accounting surfaced by
+``engine.statistics()`` and ``python -m repro metrics --overload``:
+admitted/rejected/shed per priority tier, per-query shed counts and
+the peak pending depth per operator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro.errors import AortaError, QueueFullError
+from repro.actions.request import ActionRequest
+from repro.cost.model import CostModel
+from repro.devices.base import Device
+from repro.obs.spans import NULL_OBS, Observability
+from repro.overload.admission import AdmissionController
+from repro.overload.policy import OverloadPolicy
+from repro.overload.shedding import LoadShedder
+from repro.plan.action_op import SharedActionOperator
+from repro.runtime import Runtime
+
+#: Backpressure rejection reason (queue full, incoming request worst).
+REASON_QUEUE_FULL = "queue-full"
+
+
+class OverloadControlPlane:
+    """Admission + bounded queues + shedding behind one interface."""
+
+    def __init__(
+        self,
+        env: Runtime,
+        policy: OverloadPolicy,
+        cost_model: CostModel,
+        device_lookup: Callable[[str], Device],
+        fleet_size: Callable[[], int],
+        *,
+        tracer: Any,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        self.env = env
+        self.policy = policy
+        self.cost_model = cost_model
+        self._device_lookup = device_lookup
+        self.tracer = tracer
+        self.obs = obs if obs is not None else NULL_OBS
+        self.admission = AdmissionController(policy, fleet_size)
+        self._shedder: Optional[LoadShedder] = None
+        #: Accounting, keyed by priority tier / reason / query id.
+        self.admitted_by_tier: Dict[int, int] = {}
+        self.rejected_by_tier: Dict[int, int] = {}
+        self.shed_by_tier: Dict[int, int] = {}
+        self.rejected_by_reason: Dict[str, int] = {}
+        self.shed_by_reason: Dict[str, int] = {}
+        self.shed_by_query: Dict[str, int] = {}
+        self.admitted_total = 0
+        self.rejected_total = 0
+        self.shed_total = 0
+
+    # ------------------------------------------------------------------
+    # Wiring (called by the dispatcher/engine during construction)
+    # ------------------------------------------------------------------
+    def bind(
+        self,
+        operators: Callable[[], Sequence[SharedActionOperator]],
+        shed: Callable[[ActionRequest, str], None],
+    ) -> None:
+        """Attach the dispatcher's operator table and shed callback."""
+        self._shedder = LoadShedder(self.env, self.policy, operators,
+                                    shed, self.tracer)
+
+    def configure_operator(
+        self, operator: SharedActionOperator,
+        on_evict: Callable[[ActionRequest, str], None],
+    ) -> None:
+        """Install the bounded-queue limit on a new shared operator."""
+        operator.limit = self.policy.queue_limit
+        operator.on_evict = on_evict
+
+    def start(self) -> None:
+        """Launch the periodic shedder process."""
+        if self._shedder is None:
+            raise AortaError("overload plane started before bind()")
+        self._shedder.start()
+
+    # ------------------------------------------------------------------
+    # The ingestion gate
+    # ------------------------------------------------------------------
+    def estimate_service_seconds(self, request: ActionRequest) -> float:
+        """Cost-oracle service estimate for the capacity gate.
+
+        Uses the first candidate's live status as the representative
+        cost; estimation failures (unknown device, unprofiled action)
+        fall back to the policy's default charge rather than letting
+        unestimable work bypass capacity accounting.
+        """
+        if not request.candidates:
+            return self.policy.default_service_seconds
+        try:
+            device = self._device_lookup(request.candidates[0])
+            estimate = self.cost_model.estimate(
+                request.action_name, device, request.arguments)
+        except AortaError:
+            return self.policy.default_service_seconds
+        return estimate.seconds
+
+    def offer(self, operator: SharedActionOperator,
+              request: ActionRequest) -> bool:
+        """Admission-gate one request and submit it to its operator.
+
+        Returns True when the request entered the pending queue; False
+        when it was rejected (admission or backpressure), in which case
+        the request is marked REJECTED and accounted.
+        """
+        now = self.env.now
+        estimated = self.estimate_service_seconds(request)
+        reason = self.admission.admit_request(request.priority, estimated,
+                                              now)
+        if reason is None:
+            try:
+                operator.submit(request)
+            except QueueFullError:
+                reason = REASON_QUEUE_FULL
+        if reason is not None:
+            self.note_rejected(request, reason)
+            return False
+        self.admitted_total += 1
+        self.admitted_by_tier[request.priority] = \
+            self.admitted_by_tier.get(request.priority, 0) + 1
+        if self.obs.enabled:
+            self.obs.inc("overload.admitted", tier=request.priority)
+            self.obs.set_gauge("overload.pending_requests",
+                               operator.pending_count,
+                               action=operator.action.name)
+        return True
+
+    # ------------------------------------------------------------------
+    # Accounting sinks
+    # ------------------------------------------------------------------
+    def note_rejected(self, request: ActionRequest, reason: str) -> None:
+        """Account one refused request (admission or backpressure)."""
+        request.mark_rejected(self.env.now, reason)
+        self.rejected_total += 1
+        self.rejected_by_tier[request.priority] = \
+            self.rejected_by_tier.get(request.priority, 0) + 1
+        self.rejected_by_reason[reason] = \
+            self.rejected_by_reason.get(reason, 0) + 1
+        self.tracer.record(
+            self.env.now, "request_rejected", request=request.request_id,
+            action=request.action_name, query=request.query_id,
+            priority=request.priority, reason=reason)
+        if self.obs.enabled:
+            self.obs.inc("overload.rejected", tier=request.priority,
+                         reason=reason)
+
+    def note_shed(self, request: ActionRequest, reason: str) -> None:
+        """Account one shed request (the dispatcher already marked it)."""
+        self.shed_total += 1
+        self.shed_by_tier[request.priority] = \
+            self.shed_by_tier.get(request.priority, 0) + 1
+        self.shed_by_reason[reason] = \
+            self.shed_by_reason.get(reason, 0) + 1
+        if request.query_id:
+            self.shed_by_query[request.query_id] = \
+                self.shed_by_query.get(request.query_id, 0) + 1
+        if self.obs.enabled:
+            self.obs.inc("overload.shed", tier=request.priority,
+                         reason=reason)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def shedder(self) -> LoadShedder:
+        if self._shedder is None:
+            raise AortaError("overload plane not bound to a dispatcher")
+        return self._shedder
+
+    def stats(self) -> Dict[str, Any]:
+        """Overload accounting for engine.statistics() / the CLI."""
+        shedder = self._shedder
+        return {
+            "admitted_requests": self.admitted_total,
+            "rejected_requests": self.rejected_total,
+            "shed_requests": self.shed_total,
+            "admitted_queries": self.admission.admitted_queries,
+            "rejected_queries": self.admission.rejected_queries,
+            "admitted_by_tier": dict(sorted(
+                self.admitted_by_tier.items())),
+            "rejected_by_tier": dict(sorted(
+                self.rejected_by_tier.items())),
+            "shed_by_tier": dict(sorted(self.shed_by_tier.items())),
+            "rejected_by_reason": dict(sorted(
+                self.rejected_by_reason.items())),
+            "shed_by_reason": dict(sorted(self.shed_by_reason.items())),
+            "shed_by_query": dict(sorted(self.shed_by_query.items())),
+            "shed_passes": shedder.shed_passes if shedder else 0,
+            "shedding_active": bool(shedder.active) if shedder else False,
+        }

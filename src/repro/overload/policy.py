@@ -1,0 +1,112 @@
+"""Overload-control policy knobs.
+
+One frozen dataclass collects every tunable of the overload plane —
+admission rate limits, the fleet-capacity window, bounded-queue limits
+and the load-shedding hysteresis thresholds — so an engine run is fully
+described by ``EngineConfig(overload=True, overload_policy=...)`` and
+replays deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import AortaError
+
+
+@dataclass(frozen=True)
+class TierRate:
+    """Token-bucket parameters for one priority tier.
+
+    ``rate`` is sustained requests per virtual second; ``burst`` is the
+    bucket depth (how far above the sustained rate a short spike may
+    go). A tier without a :class:`TierRate` is not rate limited.
+    """
+
+    rate: float
+    burst: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise AortaError("tier rate must be positive")
+        if self.burst < 1:
+            raise AortaError("tier burst must be >= 1")
+
+
+@dataclass(frozen=True)
+class OverloadPolicy:
+    """Every tunable of the overload-control plane.
+
+    The defaults are deliberately permissive: no per-tier rate limits,
+    a generous queue bound, and shedding watermarks sized for hundreds
+    of pending requests — an engine that is *not* overloaded behaves
+    identically whether the plane is on or off (the invariant the
+    hypothesis suite pins).
+    """
+
+    # ------------------------------------------------------------------
+    # Admission: token buckets + fleet-capacity window
+    # ------------------------------------------------------------------
+    #: Per-priority-tier request rate limits. A tier absent from the
+    #: mapping is unlimited; ``None`` disables rate limiting entirely.
+    tier_rates: Optional[Dict[int, TierRate]] = None
+    #: Rate limits applied at AQ *registration* (standing queries as
+    #: first-class admission units). Same semantics as ``tier_rates``.
+    registration_rates: Optional[Dict[int, TierRate]] = None
+    #: Length of one capacity-accounting window, in virtual seconds.
+    #: Admission commits each admitted request's estimated service
+    #: seconds against ``fleet_size * horizon * utilization_cap``
+    #: device-seconds per window.
+    capacity_horizon: float = 10.0
+    #: Fraction of fleet device-seconds admission may commit per
+    #: window; the remainder absorbs estimate error and retries.
+    utilization_cap: float = 0.9
+    #: Tiers at or above this value bypass the capacity gate (rate
+    #: limits, when configured, still apply).
+    capacity_protect_tier: int = 3
+    #: Service-seconds charged for a request whose cost cannot be
+    #: estimated (unknown device, estimation failure).
+    default_service_seconds: float = 1.0
+
+    # ------------------------------------------------------------------
+    # Bounded queues
+    # ------------------------------------------------------------------
+    #: Pending-queue bound installed on every shared action operator.
+    #: ``None`` keeps queues unbounded (admission/shedding still run).
+    queue_limit: Optional[int] = 256
+
+    # ------------------------------------------------------------------
+    # Load shedding
+    # ------------------------------------------------------------------
+    #: Seconds between shedder passes (deadline expiry + hysteresis).
+    shed_interval: float = 0.5
+    #: Total pending requests (across operators) above which shedding
+    #: activates.
+    shed_high_watermark: int = 192
+    #: Once active, shedding drops worst-first until total pending
+    #: falls to this level, then deactivates (hysteresis: strictly
+    #: below the high watermark so shedding starts and stops
+    #: deterministically instead of flapping).
+    shed_low_watermark: int = 128
+    #: Tiers at or above this value are never pressure-shed (deadline
+    #: expiry still sheds them — a late answer has no value).
+    shed_protect_tier: int = 3
+
+    def __post_init__(self) -> None:
+        if self.capacity_horizon <= 0:
+            raise AortaError("capacity_horizon must be positive")
+        if not 0.0 < self.utilization_cap <= 1.0:
+            raise AortaError("utilization_cap must be in (0, 1]")
+        if self.default_service_seconds <= 0:
+            raise AortaError("default_service_seconds must be positive")
+        if self.queue_limit is not None and self.queue_limit < 1:
+            raise AortaError("queue_limit must be >= 1")
+        if self.shed_interval <= 0:
+            raise AortaError("shed_interval must be positive")
+        if self.shed_low_watermark < 0 or self.shed_high_watermark < 1:
+            raise AortaError("shed watermarks must be non-negative")
+        if self.shed_low_watermark >= self.shed_high_watermark:
+            raise AortaError(
+                "shed_low_watermark must be strictly below "
+                "shed_high_watermark (hysteresis)")

@@ -15,11 +15,26 @@ the scheduling algorithms of Section 5 exist for.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Set
+from typing import Callable, List, Optional, Set, Tuple
 
-from repro.errors import RegistrationError, SchedulingError
+from repro.errors import QueueFullError, RegistrationError, SchedulingError
 from repro.actions.action import ActionDefinition
 from repro.actions.request import ActionRequest
+
+
+def _eviction_key(request: ActionRequest,
+                  index: int) -> Tuple[int, float, float, int]:
+    """Sort key whose minimum is the least-worth-keeping pending entry.
+
+    Deterministic eviction order for bounded queues: lowest priority
+    tier first, then oldest (earliest) deadline — the entry closest to
+    expiring, hence least likely to be serviceable — then oldest
+    submission. Requests without a deadline sort after any dated one
+    within their tier.
+    """
+    deadline = request.deadline if request.deadline is not None \
+        else float("inf")
+    return (request.priority, deadline, request.created_at, index)
 
 
 class SharedActionOperator:
@@ -31,9 +46,20 @@ class SharedActionOperator:
         self._pending: List[ActionRequest] = []
         #: Called on every submit, so the dispatcher can wake up.
         self.on_submit: Optional[Callable[[ActionRequest], None]] = None
+        #: Bounded-queue limit; ``None`` (the default) keeps the queue
+        #: unbounded, the pre-overload behaviour. Set by the overload
+        #: control plane (repro.overload) when it is configured.
+        self.limit: Optional[int] = None
+        #: Called with ``(victim, reason)`` when a full queue evicts a
+        #: pending request to make room for a more valuable one.
+        self.on_evict: Optional[Callable[[ActionRequest, str], None]] = None
         #: Lifetime counters for observability.
         self.total_submitted = 0
         self.total_drained = 0
+        self.total_evicted = 0
+        self.total_rejected = 0
+        #: High-water mark of the pending queue, for overload metrics.
+        self.peak_pending = 0
 
     # ------------------------------------------------------------------
     # Query attachment
@@ -65,7 +91,16 @@ class SharedActionOperator:
     # Request flow
     # ------------------------------------------------------------------
     def submit(self, request: ActionRequest) -> None:
-        """A query hands over one instantiated action request."""
+        """A query hands over one instantiated action request.
+
+        With a bounded queue (``limit`` set), submitting to a full
+        operator picks the least-worth-keeping entry among the pending
+        requests *and* the incoming one: if a pending entry loses, it
+        is evicted (``on_evict`` fires) and the incoming request takes
+        its place; if the incoming request itself is the least valuable,
+        it is refused with :class:`QueueFullError` — explicit
+        backpressure instead of silent unbounded growth.
+        """
         if request.action_name != self.action.name:
             raise SchedulingError(
                 f"request for {request.action_name!r} submitted to the "
@@ -76,8 +111,27 @@ class SharedActionOperator:
                 f"query {request.query_id!r} is not attached to action "
                 f"{self.action.name!r}"
             )
+        if self.limit is not None and len(self._pending) >= self.limit:
+            victim_index = min(
+                range(len(self._pending) + 1),
+                key=lambda i: _eviction_key(
+                    self._pending[i] if i < len(self._pending) else request,
+                    i))
+            if victim_index == len(self._pending):
+                self.total_rejected += 1
+                raise QueueFullError(
+                    f"operator {self.action.name!r} queue is full "
+                    f"({self.limit} pending) and request "
+                    f"{request.request_id!r} (tier {request.priority}) "
+                    f"is the least valuable; retry later"
+                )
+            victim = self._pending.pop(victim_index)
+            self.total_evicted += 1
+            if self.on_evict is not None:
+                self.on_evict(victim, "queue-evicted")
         self._pending.append(request)
         self.total_submitted += 1
+        self.peak_pending = max(self.peak_pending, len(self._pending))
         if self.on_submit is not None:
             self.on_submit(request)
 
@@ -86,6 +140,22 @@ class SharedActionOperator:
         batch, self._pending = self._pending, []
         self.total_drained += len(batch)
         return batch
+
+    def pending_snapshot(self) -> List[ActionRequest]:
+        """A copy of the pending queue, in submission order."""
+        return list(self._pending)
+
+    def discard(self, request: ActionRequest) -> bool:
+        """Remove one pending request (the load-shedder's primitive).
+
+        Returns False when the request is no longer pending (drained or
+        already removed), so shedding races resolve harmlessly.
+        """
+        try:
+            self._pending.remove(request)
+        except ValueError:
+            return False
+        return True
 
     @property
     def pending_count(self) -> int:

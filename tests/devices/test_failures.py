@@ -156,3 +156,179 @@ def test_random_outages_skip_zero_episode_devices():
     assert len(affected) < len(ids)  # ... but far from all of them
     # Dropping every quiet device reproduces the exact same schedule.
     assert schedule(sorted(affected)) == episodes
+
+
+# ----------------------------------------------------------------------
+# Stragglers: slow devices, not dead ones
+# ----------------------------------------------------------------------
+def test_straggler_spec_validation():
+    from repro.devices.failures import StragglerSpec
+    with pytest.raises(DeviceError, match="duration"):
+        StragglerSpec(device_id="x", start=0, duration=0, factor=2.0)
+    with pytest.raises(DeviceError, match="factor"):
+        StragglerSpec(device_id="x", start=0, duration=1, factor=1.0)
+
+
+def test_straggler_inflates_then_restores_service_time():
+    from repro.devices.failures import StragglerSpec
+    env = Environment()
+    camera = PanTiltZoomCamera(env, "cam1", Point(0, 0))
+    injector = FailureInjector(env)
+    injector.schedule_straggler(camera, StragglerSpec(
+        device_id="cam1", start=5.0, duration=3.0, factor=4.0))
+    observations = []
+
+    def observer(env):
+        yield env.timeout(4.0)
+        observations.append(("before", camera.service_seconds(1.0)))
+        yield env.timeout(2.0)
+        observations.append(("during", camera.service_seconds(1.0)))
+        yield env.timeout(3.0)
+        observations.append(("after", camera.service_seconds(1.0)))
+
+    env.process(observer(env))
+    env.run()
+    assert observations == [("before", 1.0), ("during", 4.0),
+                            ("after", 1.0)]
+    assert camera.online  # a straggler is slow, never offline
+
+
+def test_overlapping_stragglers_stack_multiplicatively():
+    from repro.devices.failures import StragglerSpec
+    env = Environment()
+    camera = PanTiltZoomCamera(env, "cam1", Point(0, 0))
+    injector = FailureInjector(env)
+    injector.schedule_straggler(camera, StragglerSpec(
+        device_id="cam1", start=2.0, duration=6.0, factor=2.0))
+    injector.schedule_straggler(camera, StragglerSpec(
+        device_id="cam1", start=4.0, duration=2.0, factor=3.0))
+    samples = []
+
+    def observer(env):
+        for t in (3.0, 5.0, 7.0, 9.0):
+            yield env.timeout(t - env.now)
+            samples.append(camera.slowdown_factor)
+
+    env.process(observer(env))
+    env.run()
+    assert samples == [2.0, 6.0, 2.0, 1.0]
+
+
+def test_straggler_mismatched_device_id_rejected():
+    from repro.devices.failures import StragglerSpec
+    env = Environment()
+    camera = PanTiltZoomCamera(env, "cam1", Point(0, 0))
+    injector = FailureInjector(env)
+    with pytest.raises(DeviceError, match="scheduled on device"):
+        injector.schedule_straggler(camera, StragglerSpec(
+            device_id="other", start=0, duration=1, factor=2.0))
+
+
+def test_random_stragglers_deterministic_substreams_and_clamped():
+    def schedule(device_ids):
+        env = Environment()
+        devices = [SensorMote(env, d, Point(0, 0)) for d in device_ids]
+        injector = FailureInjector(env)
+        injector.random_stragglers(
+            devices, horizon=100.0, straggler_rate_per_device=0.03,
+            mean_duration=30.0, rng=random.Random(11))
+        return {(s.device_id, s.start, s.duration, s.factor)
+                for s in injector.scheduled_stragglers}
+
+    full = schedule(["m1", "m2", "m3"])
+    assert full
+    for _, start, duration, factor in full:
+        assert start + duration <= 100.0 + 1e-9
+        assert 2.0 <= factor <= 8.0
+    # Per-device substreams: removing one device leaves the rest alone.
+    assert schedule(["m1", "m3"]) == {e for e in full if e[0] != "m2"}
+    # Same base rng, same schedule.
+    assert schedule(["m1", "m2", "m3"]) == full
+
+
+def test_random_stragglers_independent_of_outage_substreams():
+    # The same base seed drives outages and stragglers for the same
+    # device through distinct substreams — neither schedule collapses
+    # onto the other.
+    env = Environment()
+    devices = [SensorMote(env, f"m{i}", Point(i, 0)) for i in range(5)]
+    injector = FailureInjector(env)
+    injector.random_outages(
+        devices, horizon=100.0, outage_rate_per_device=0.05,
+        mean_duration=5.0, rng=random.Random(3))
+    injector.random_stragglers(
+        devices, horizon=100.0, straggler_rate_per_device=0.05,
+        mean_duration=5.0, rng=random.Random(3))
+    outage_starts = {s.start for s in injector.scheduled}
+    straggler_starts = {s.start for s in injector.scheduled_stragglers}
+    assert outage_starts and straggler_starts
+    assert outage_starts != straggler_starts
+
+
+def test_random_stragglers_validation():
+    env = Environment()
+    injector = FailureInjector(env)
+    with pytest.raises(DeviceError, match="horizon"):
+        injector.random_stragglers(
+            [], horizon=0, straggler_rate_per_device=0.1)
+    with pytest.raises(DeviceError, match="factor_range"):
+        injector.random_stragglers(
+            [], horizon=10.0, straggler_rate_per_device=0.1,
+            factor_range=(1.0, 2.0))
+
+
+# ----------------------------------------------------------------------
+# Request storms
+# ----------------------------------------------------------------------
+def test_request_storm_arrivals_and_spacing():
+    from repro.actions.request import ActionRequest
+    env = Environment()
+    injector = FailureInjector(env)
+    arrivals = []
+
+    def make_request(index, now):
+        return ActionRequest(action_name="photo", arguments={},
+                             created_at=now, request_id=f"s{index}")
+
+    count = injector.schedule_request_storm(
+        lambda r: arrivals.append((r.request_id, env.now)) or True,
+        make_request, start=2.0, duration=1.0, rate=4.0)
+    env.run()
+    assert count == 4
+    assert arrivals == [("s0", 2.0), ("s1", 2.25), ("s2", 2.5),
+                        ("s3", 2.75)]
+    assert injector.storm_rejected == [0]
+
+
+def test_request_storm_tallies_refusals():
+    from repro.errors import QueueFullError
+    from repro.actions.request import ActionRequest
+    env = Environment()
+    injector = FailureInjector(env)
+    outcomes = iter([True, False, QueueFullError("full"), True])
+
+    def submit(request):
+        outcome = next(outcomes)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    injector.schedule_request_storm(
+        submit,
+        lambda i, now: ActionRequest(action_name="photo", arguments={},
+                                     created_at=now),
+        start=0.5, duration=2.0, rate=2.0)
+    env.run()
+    assert injector.storm_rejected == [2]
+
+
+def test_request_storm_validation():
+    env = Environment()
+    injector = FailureInjector(env)
+    make = lambda i, now: None
+    with pytest.raises(DeviceError, match="duration"):
+        injector.schedule_request_storm(lambda r: True, make,
+                                        start=0.0, duration=0.0, rate=1.0)
+    with pytest.raises(DeviceError, match="rate"):
+        injector.schedule_request_storm(lambda r: True, make,
+                                        start=0.0, duration=1.0, rate=0.0)

@@ -30,6 +30,8 @@ from repro import (
 )
 from repro.actions.request import ActionRequest
 from repro.devices.failures import FailureInjector, OutageSpec
+from repro.errors import AdmissionError
+from repro.overload import OverloadPolicy, TierRate
 
 
 def _config(observability: Optional[bool], **kwargs) -> EngineConfig:
@@ -135,6 +137,105 @@ def continuous_outage_scenario(
         device_id="cam2", start=14.0, duration=6.0, kind="crash"))
 
     engine.run(until=70.0)
+    return engine
+
+
+# ----------------------------------------------------------------------
+# The overload storm scenario (PR 7): a request flood against a small
+# camera fleet under the overload-control plane, tuned so every
+# overload trace kind fires deterministically.
+# ----------------------------------------------------------------------
+OVERLOAD_STORM_POLICY = OverloadPolicy(
+    tier_rates={1: TierRate(rate=1.0, burst=2.0)},
+    registration_rates={1: TierRate(rate=0.001, burst=1.0)},
+    capacity_horizon=50.0,
+    utilization_cap=1.0,
+    queue_limit=16,
+    shed_interval=0.5,
+    shed_high_watermark=12,
+    shed_low_watermark=4,
+    shed_protect_tier=3,
+)
+
+
+def overload_storm_scenario(observability: Optional[bool] = None,
+                            env=None, **config_kwargs) -> AortaEngine:
+    """A 40-request storm against four cameras with overload control on.
+
+    Tier-1 traffic trips the admission rate limit (request_rejected);
+    the bounded photo queue (limit 16) evicts and backpressures under
+    the flood (request_shed / request_rejected); the backlog crosses
+    the 12-request high watermark so pressure shedding starts and,
+    once drained to 4, stops (shedding_started / shedding_stopped);
+    tier-2 deadlines expire in queue (request_shed); and a second
+    tier-1 AQ registration trips the registration rate limit
+    (query_rejected). Fully deterministic; runs 40 virtual seconds.
+    """
+    env = env if env is not None else Environment()
+    engine = AortaEngine(
+        env,
+        config=_config(observability, overload=True,
+                       overload_policy=OVERLOAD_STORM_POLICY,
+                       **config_kwargs),
+        seed=0)
+    cameras = []
+    for index in range(4):
+        camera = PanTiltZoomCamera(
+            env, f"cam{index + 1}", Point(20.0 * index, 0.0),
+            facing=0.0, view_half_angle=170.0, view_range=1000.0)
+        engine.add_device(camera)
+        cameras.append(camera)
+    mote = SensorMote(env, "mote1", Point(5, 3), noise_amplitude=0.0)
+    engine.add_device(mote)
+    candidates = tuple(camera.device_id for camera in cameras)
+
+    engine.create_aq('''CREATE AQ storm_watch AS
+        SELECT photo(c.ip, s.loc, "photos/storm")
+        FROM sensor s, camera c
+        WHERE s.accel_x > 500 AND coverage(c.id, s.loc)''',
+                     priority=1, deadline_seconds=20.0)
+    try:
+        engine.create_aq('''CREATE AQ storm_watch_b AS
+            SELECT photo(c.ip, s.loc, "photos/storm")
+            FROM sensor s, camera c
+            WHERE s.accel_x > 500 AND coverage(c.id, s.loc)''',
+                         priority=1)
+        raise AssertionError("second tier-1 registration must be refused")
+    except AdmissionError:
+        pass
+    mote.inject(SensorStimulus("accel_x", start=2.0, duration=3.0,
+                               magnitude=850.0))
+
+    action = engine.actions.get("photo")
+    operator = engine.dispatcher.operator_for(action)
+
+    def make_request(index: int, now: float) -> ActionRequest:
+        # Tier mix: 25% tier 3 (protected), 25% tier 2 (deadlined),
+        # 50% tier 1 (rate limited).
+        if index % 4 == 0:
+            tier, deadline = 3, None
+        elif index % 4 == 1:
+            tier, deadline = 2, now + 3.0
+        else:
+            tier, deadline = 1, now + 10.0
+        return ActionRequest(
+            action_name="photo",
+            arguments={"target": Point(10.0 + index, 5.0),
+                       "directory": "photos/storm"},
+            created_at=now,
+            candidates=candidates,
+            request_id=f"storm{index:02d}",
+            priority=tier,
+            deadline=deadline,
+        )
+
+    injector = FailureInjector(env)
+    injector.schedule_request_storm(
+        lambda request: engine.dispatcher.submit(operator, request),
+        make_request, start=1.0, duration=2.0, rate=20.0)
+
+    engine.start()
+    engine.run(until=40.0)
     return engine
 
 

@@ -7,6 +7,7 @@ from repro.core.tracing import TRACE_KINDS, EngineTracer
 from tests.obs.scenarios import (
     continuous_outage_scenario,
     ft_scenario,
+    overload_storm_scenario,
     snapshot_scenario,
 )
 
@@ -76,7 +77,8 @@ class TestExhaustiveness:
         observed = set()
         for engine in (snapshot_scenario(observability=True),
                        continuous_outage_scenario(observability=True),
-                       ft_scenario(observability=True)):
+                       ft_scenario(observability=True),
+                       overload_storm_scenario(observability=True)):
             observed |= {record.kind for record in engine.tracer}
 
         # The two kinds the canonical runs cannot reach: dropping the

@@ -1,0 +1,124 @@
+"""Unit tests for admission control: token buckets and capacity."""
+
+import pytest
+
+from repro.errors import AortaError
+from repro.overload import AdmissionController, OverloadPolicy, TierRate, TokenBucket
+from repro.overload.admission import REASON_CAPACITY, REASON_RATE
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        assert (bucket.granted, bucket.refused) == (2, 1)
+
+    def test_lazy_refill_on_virtual_time(self):
+        bucket = TokenBucket(rate=2.0, burst=1.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.1)   # only 0.2 tokens back
+        assert bucket.try_take(0.6)       # >= 1 token accrued
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=3.0)
+        for _ in range(3):
+            assert bucket.try_take(100.0)
+        assert not bucket.try_take(100.0)
+
+    def test_time_going_backwards_does_not_refund(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        assert bucket.try_take(5.0)
+        assert not bucket.try_take(4.0)
+
+    def test_deterministic_given_call_sequence(self):
+        def run():
+            bucket = TokenBucket(rate=0.5, burst=2.0)
+            return [bucket.try_take(t / 4.0) for t in range(40)]
+        assert run() == run()
+
+
+class TestPolicyValidation:
+    def test_tier_rate_requires_positive_rate(self):
+        with pytest.raises(AortaError, match="rate"):
+            TierRate(rate=0.0, burst=1.0)
+
+    def test_tier_rate_requires_burst_at_least_one(self):
+        with pytest.raises(AortaError, match="burst"):
+            TierRate(rate=1.0, burst=0.5)
+
+    def test_watermarks_must_hysterese(self):
+        with pytest.raises(AortaError, match="strictly below"):
+            OverloadPolicy(shed_high_watermark=10, shed_low_watermark=10)
+
+    def test_utilization_cap_bounds(self):
+        with pytest.raises(AortaError, match="utilization_cap"):
+            OverloadPolicy(utilization_cap=1.5)
+
+    def test_queue_limit_positive(self):
+        with pytest.raises(AortaError, match="queue_limit"):
+            OverloadPolicy(queue_limit=0)
+
+
+def controller(policy, fleet=4):
+    return AdmissionController(policy, fleet_size=lambda: fleet)
+
+
+class TestRateGate:
+    def test_unlimited_tier_always_admits(self):
+        ctrl = controller(OverloadPolicy(tier_rates={1: TierRate(1.0, 1.0)}))
+        for _ in range(50):
+            assert ctrl.admit_request(2, 0.1, 0.0) is None
+
+    def test_limited_tier_refused_past_burst(self):
+        ctrl = controller(OverloadPolicy(tier_rates={1: TierRate(1.0, 2.0)}))
+        assert ctrl.admit_request(1, 0.1, 0.0) is None
+        assert ctrl.admit_request(1, 0.1, 0.0) is None
+        assert ctrl.admit_request(1, 0.1, 0.0) == REASON_RATE
+        assert ctrl.rejected_requests == 1
+
+    def test_registration_gate_is_independent(self):
+        ctrl = controller(OverloadPolicy(
+            registration_rates={1: TierRate(0.001, 1.0)}))
+        assert ctrl.admit_query(1, 0.0) is None
+        assert ctrl.admit_query(1, 0.0) == REASON_RATE
+        # Request ingestion is untouched by the registration bucket.
+        assert ctrl.admit_request(1, 0.1, 0.0) is None
+        assert (ctrl.admitted_queries, ctrl.rejected_queries) == (1, 1)
+
+
+class TestCapacityGate:
+    POLICY = OverloadPolicy(capacity_horizon=10.0, utilization_cap=1.0,
+                            capacity_protect_tier=3)
+
+    def test_window_budget_is_fleet_times_horizon(self):
+        ctrl = controller(self.POLICY, fleet=2)   # 20 device-seconds
+        assert ctrl.admit_request(1, 15.0, 0.0) is None
+        assert ctrl.admit_request(1, 10.0, 1.0) == REASON_CAPACITY
+        assert ctrl.admit_request(1, 5.0, 1.0) is None
+
+    def test_window_resets_on_next_horizon(self):
+        ctrl = controller(self.POLICY, fleet=1)   # 10 device-seconds
+        assert ctrl.admit_request(1, 10.0, 0.0) is None
+        assert ctrl.admit_request(1, 1.0, 5.0) == REASON_CAPACITY
+        assert ctrl.admit_request(1, 1.0, 10.0) is None   # new window
+
+    def test_protected_tier_bypasses_but_still_commits(self):
+        ctrl = controller(self.POLICY, fleet=1)
+        assert ctrl.admit_request(3, 100.0, 0.0) is None  # bypass
+        # The protected load was committed, so tier 1 now sees a full
+        # window.
+        assert ctrl.admit_request(1, 1.0, 0.0) == REASON_CAPACITY
+
+    def test_deterministic_counters(self):
+        def run():
+            ctrl = controller(OverloadPolicy(
+                tier_rates={1: TierRate(2.0, 2.0)},
+                capacity_horizon=5.0, utilization_cap=0.5))
+            outcomes = []
+            for step in range(30):
+                outcomes.append(ctrl.admit_request(
+                    1 + step % 3, 0.7, step * 0.3))
+            return outcomes, ctrl.admitted_requests, ctrl.rejected_requests
+        assert run() == run()

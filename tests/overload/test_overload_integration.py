@@ -1,0 +1,239 @@
+"""The overload plane end to end: off-identity, storms, invariants.
+
+Three families of guarantees. First, the off switch: with
+``overload=False`` (or the knob absent) the engine must be
+byte-identical to the pre-overload engine, pinned by the checked-in
+obs goldens on both runtime backends. Second, the storm scenario:
+bounded queues actually bound, shedding fires, statistics appear only
+when the plane is on, and the whole run is deterministic. Third,
+property tests: queue occupancy never exceeds its bound under any
+storm, and a permissive policy under light load services exactly the
+requests the plain engine services.
+"""
+
+import pytest
+
+from repro import (
+    AortaEngine,
+    EngineConfig,
+    Environment,
+    PanTiltZoomCamera,
+    Point,
+    SensorMote,
+)
+from repro.actions.request import ActionRequest
+from repro.devices.failures import FailureInjector
+from repro.overload import OverloadPolicy, TierRate
+from repro.runtime import RealtimeRuntime, VirtualRuntime
+
+from tests.core.conftest import LOSSLESS
+from tests.obs.golden import assert_golden, dump_engine
+from tests.obs.scenarios import (
+    OVERLOAD_STORM_POLICY,
+    continuous_outage_scenario,
+    overload_storm_scenario,
+    snapshot_scenario,
+)
+
+OVERLOAD_OFF = dict(overload=False)
+
+
+def build_overload_lab(policy, n_cameras=3, env=None):
+    """Cameras covering one quiet mote, overload plane configured."""
+    env = env if env is not None else Environment()
+    engine = AortaEngine(
+        env, config=EngineConfig(overload=True, overload_policy=policy),
+        links=dict(LOSSLESS))
+    for i in range(n_cameras):
+        engine.add_device(PanTiltZoomCamera(
+            env, f"cam{i + 1}", Point(20.0 * i, 0.0),
+            facing=0.0, view_half_angle=170.0, view_range=1000.0))
+    engine.add_device(SensorMote(env, "mote1", Point(5, 3),
+                                 noise_amplitude=0.0))
+    return engine
+
+
+def storm_request(index, now, candidates):
+    if index % 4 == 0:
+        tier, deadline = 3, None
+    elif index % 4 == 1:
+        tier, deadline = 2, now + 3.0
+    else:
+        tier, deadline = 1, now + 10.0
+    return ActionRequest(
+        action_name="photo",
+        arguments={"target": Point(10.0 + index, 5.0),
+                   "directory": "photos"},
+        created_at=now, candidates=candidates,
+        request_id=f"storm{index:02d}", priority=tier, deadline=deadline)
+
+
+class TestOverloadOffIdentity:
+    """``overload=False`` must be byte-identical to the pre-overload
+    engine, pinned by the checked-in goldens on both runtime backends."""
+
+    def test_snapshot_golden_with_explicit_overload_off(self):
+        engine = snapshot_scenario(observability=True, **OVERLOAD_OFF)
+        assert_golden("snapshot_obs", dump_engine(engine))
+
+    def test_continuous_outage_golden_with_explicit_overload_off(self):
+        engine = continuous_outage_scenario(observability=True,
+                                            **OVERLOAD_OFF)
+        assert_golden("continuous_outage_obs", dump_engine(engine))
+
+    @pytest.mark.parametrize("backend", ["virtual", "realtime"])
+    def test_both_backends_match_the_golden_with_overload_off(
+            self, backend):
+        env = (VirtualRuntime() if backend == "virtual"
+               else RealtimeRuntime(time_scale=0))
+        engine = snapshot_scenario(observability=True, env=env,
+                                   **OVERLOAD_OFF)
+        assert_golden("snapshot_obs", dump_engine(engine))
+
+    def test_knob_absent_equals_knob_off(self):
+        absent = dump_engine(snapshot_scenario(observability=None))
+        off = dump_engine(snapshot_scenario(observability=None,
+                                            **OVERLOAD_OFF))
+        assert absent == off
+
+    def test_overload_statistics_gated_on_the_knob(self):
+        off = snapshot_scenario(observability=None, **OVERLOAD_OFF)
+        assert not any(key.startswith("overload_")
+                       for key in off.statistics())
+        on = overload_storm_scenario()
+        stats = on.statistics()
+        assert "overload_admitted_requests" in stats
+        assert "overload_peak_queue_depth" in stats
+        assert "requests_shed" in stats
+
+
+class TestStormScenario:
+    def test_bounded_queues_hold_under_the_storm(self):
+        engine = overload_storm_scenario()
+        limit = OVERLOAD_STORM_POLICY.queue_limit
+        for operator in engine.dispatcher._operators.values():
+            assert operator.peak_pending <= limit
+
+    def test_storm_sheds_and_rejects(self):
+        engine = overload_storm_scenario()
+        stats = engine.statistics()
+        assert stats["overload_rejected_requests"] > 0
+        assert stats["requests_shed"] > 0
+        assert stats["overload_rejected_queries"] == 1
+        # Protected tier 3 is never pressure-shed.
+        assert stats["overload_shed_by_tier"].get(3, 0) == 0
+
+    def test_storm_run_is_deterministic(self):
+        first = dump_engine(overload_storm_scenario(observability=True))
+        second = dump_engine(overload_storm_scenario(observability=True))
+        assert first == second
+
+    def test_shed_requests_reach_completed_with_reasons(self):
+        engine = overload_storm_scenario()
+        shed = [r for r in engine.completed_requests
+                if r.state.value == "shed"]
+        assert shed
+        assert all(r.failure_reason for r in shed)
+        assert all(r.completed_at is not None for r in shed)
+
+
+# ----------------------------------------------------------------------
+# Property tests: bounded occupancy under any storm; serviced-set
+# equality when capacity is sufficient.
+# ----------------------------------------------------------------------
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is a test dep
+    HAVE_HYPOTHESIS = False
+
+
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis unavailable")
+class TestQueueBoundInvariant:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(queue_limit=st.integers(min_value=1, max_value=8),
+           rate=st.floats(min_value=5.0, max_value=30.0),
+           duration=st.floats(min_value=0.5, max_value=2.0),
+           n_cameras=st.integers(min_value=1, max_value=4))
+    def test_occupancy_never_exceeds_the_bound(
+            self, queue_limit, rate, duration, n_cameras):
+        policy = OverloadPolicy(
+            tier_rates={1: TierRate(rate=2.0, burst=4.0)},
+            queue_limit=queue_limit,
+            shed_high_watermark=max(2, queue_limit),
+            shed_low_watermark=max(2, queue_limit) - 1)
+        engine = build_overload_lab(policy, n_cameras=n_cameras)
+        candidates = tuple(f"cam{i + 1}" for i in range(n_cameras))
+        operator = engine.dispatcher.operator_for(
+            engine.actions.get("photo"))
+        injector = FailureInjector(engine.env)
+        injector.schedule_request_storm(
+            lambda r: engine.dispatcher.submit(operator, r),
+            lambda i, now: storm_request(i, now, candidates),
+            start=1.0, duration=duration, rate=rate)
+        engine.start()
+        engine.run(until=30.0)
+        for op in engine.dispatcher._operators.values():
+            assert op.peak_pending <= queue_limit
+        # Everything submitted was accounted: serviced, failed, shed,
+        # rejected at the gate, or still in flight — never lost.
+        stats = engine.statistics()
+        submitted = int(rate * duration)
+        accounted = (stats["overload_admitted_requests"]
+                     + stats["overload_rejected_requests"])
+        assert accounted == submitted
+
+
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis unavailable")
+class TestServicedSetEquivalence:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(rounds=st.integers(min_value=1, max_value=4),
+           n_cameras=st.integers(min_value=1, max_value=3))
+    def test_permissive_plane_services_the_same_requests(
+            self, rounds, n_cameras):
+        """When capacity is sufficient, the overload plane is invisible:
+        the non-shed serviced set equals the plain engine's."""
+        def run(config):
+            env = Environment()
+            engine = AortaEngine(env, config=config,
+                                 links=dict(LOSSLESS))
+            for i in range(n_cameras):
+                engine.add_device(PanTiltZoomCamera(
+                    env, f"cam{i + 1}", Point(20.0 * i, 0.0),
+                    facing=0.0, view_half_angle=170.0,
+                    view_range=1000.0))
+            engine.add_device(SensorMote(env, "mote1", Point(5, 3),
+                                         noise_amplitude=0.0))
+            candidates = tuple(f"cam{i + 1}" for i in range(n_cameras))
+            operator = engine.dispatcher.operator_for(
+                engine.actions.get("photo"))
+
+            def workload(env):
+                for round_no in range(rounds):
+                    delay = 20.0 * round_no + 2.0 - env.now
+                    if delay > 0:
+                        yield env.timeout(delay)
+                    engine.dispatcher.submit(operator, ActionRequest(
+                        action_name="photo",
+                        arguments={"target": Point(5.0 + 3.0 * round_no,
+                                                   5.0),
+                                   "directory": "photos"},
+                        created_at=env.now, candidates=candidates,
+                        request_id=f"pr{round_no}"))
+
+            env.process(workload(env))
+            engine.start()
+            engine.run(until=20.0 * rounds + 40.0)
+            return sorted(r.request_id
+                          for r in engine.completed_requests
+                          if r.state.value == "serviced")
+
+        plain = run(EngineConfig())
+        # The default policy is deliberately permissive: light load
+        # passes every gate untouched.
+        guarded = run(EngineConfig(overload=True,
+                                   overload_policy=OverloadPolicy()))
+        assert plain == guarded
