@@ -8,8 +8,9 @@ persisted under ``bench_results/``.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Mapping, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "bench_results")
 
@@ -45,6 +46,30 @@ def record(name: str, title: str, body: str) -> str:
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
         handle.write(text)
     return text
+
+
+def write_result(json_path: str, payload: Mapping[str, object],
+                 gates: Mapping[str, object]) -> int:
+    """Finalize one benchmark's JSON artifact with boolean gating.
+
+    The single exit door for every gated bench: each gate value is
+    coerced to a real ``bool`` (a truthy string or count can never
+    masquerade as a passing gate in the artifact), ``gates`` and the
+    derived top-level ``pass`` are stamped onto the payload, the JSON
+    is written with stable formatting (indent 2, trailing newline), and
+    the return value is the process exit code — 0 on pass, 1 on any
+    gate miss — so ``raise SystemExit(main())`` fails CI on a miss.
+    """
+    coerced: Dict[str, bool] = {name: bool(value)
+                                for name, value in gates.items()}
+    gate_pass = all(coerced.values())
+    finalized = dict(payload)
+    finalized["gates"] = coerced
+    finalized["pass"] = gate_pass
+    with open(json_path, "w") as handle:
+        json.dump(finalized, handle, indent=2)
+        handle.write("\n")
+    return 0 if gate_pass else 1
 
 
 def scheduler_factories(sa_parameters=None):

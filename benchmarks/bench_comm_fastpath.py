@@ -29,14 +29,13 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 sys.path.insert(0, os.path.dirname(__file__))
 
-from _common import format_table, record  # noqa: E402
+from _common import format_table, record, write_result  # noqa: E402
 
 from repro.actions.builtins import (  # noqa: E402
     sendphoto_profile,
@@ -232,11 +231,13 @@ def main(argv=None) -> int:
     serviced_unchanged = off["serviced_ids"] == on["serviced_ids"]
     latency_improved = (on["mean_makespan_seconds"]
                         < off["mean_makespan_seconds"])
-    gate_pass = (probe_ratio >= TARGET_PROBE_RATIO
-                 and connect_ratio >= TARGET_CONNECT_RATIO
-                 and latency_improved
-                 and deterministic
-                 and serviced_unchanged)
+    gates = {
+        "probe_amortized": probe_ratio >= TARGET_PROBE_RATIO,
+        "connect_amortized": connect_ratio >= TARGET_CONNECT_RATIO,
+        "latency_improved": latency_improved,
+        "deterministic": deterministic,
+        "serviced_unchanged": serviced_unchanged,
+    }
 
     # The id lists exist to compare runs; keep the JSON readable.
     for run in (off, on, repeat):
@@ -259,15 +260,9 @@ def main(argv=None) -> int:
             "connect_ratio": round(connect_ratio, 3),
             "mean_makespan_off": round(off["mean_makespan_seconds"], 6),
             "mean_makespan_on": round(on["mean_makespan_seconds"], 6),
-            "latency_improved": latency_improved,
-            "deterministic_repeat": deterministic,
-            "serviced_unchanged": serviced_unchanged,
-            "pass": gate_pass,
         },
     }
-    with open(JSON_PATH, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    exit_code = write_result(JSON_PATH, payload, gates)
 
     rows = [
         ("fastpath_off", off["batches"], off["serviced"],
@@ -283,7 +278,7 @@ def main(argv=None) -> int:
     verdict = (
         f"gate (probes >= {TARGET_PROBE_RATIO:.0f}x, connects >= "
         f"{TARGET_CONNECT_RATIO:.0f}x, latency down, deterministic, "
-        f"serviced unchanged): {'PASS' if gate_pass else 'FAIL'} "
+        f"serviced unchanged): {'PASS' if exit_code == 0 else 'FAIL'} "
         f"(probes {probe_ratio:.1f}x, connects {connect_ratio:.1f}x, "
         f"makespan {off['mean_makespan_seconds']:.3f}s -> "
         f"{on['mean_makespan_seconds']:.3f}s)")
@@ -291,7 +286,7 @@ def main(argv=None) -> int:
            "Comm fast path: probe/connect amortization and batch latency",
            table + "\n\n" + verdict +
            f"\nJSON: {os.path.relpath(JSON_PATH)}")
-    return 0 if gate_pass else 1
+    return exit_code
 
 
 if __name__ == "__main__":

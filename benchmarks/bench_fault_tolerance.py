@@ -29,7 +29,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import random
 import sys
@@ -37,7 +36,7 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 sys.path.insert(0, os.path.dirname(__file__))
 
-from _common import format_table, record  # noqa: E402
+from _common import format_table, record, write_result  # noqa: E402
 
 from repro.actions.request import ActionRequest  # noqa: E402
 from repro.core.config import EngineConfig, RetryPolicy  # noqa: E402
@@ -173,9 +172,12 @@ def main(argv=None) -> int:
     baseline = run_engine(False, horizon, drain)
     fault_tolerant = run_engine(True, horizon, drain)
 
-    gate_pass = (fault_tolerant["serviced_ratio"] >= TARGET_RATIO
-                 and fault_tolerant["serviced_ratio"]
-                 > baseline["serviced_ratio"])
+    gates = {
+        "serviced_ratio_met":
+            fault_tolerant["serviced_ratio"] >= TARGET_RATIO,
+        "beats_baseline":
+            fault_tolerant["serviced_ratio"] > baseline["serviced_ratio"],
+    }
 
     payload = {
         "benchmark": "bench_fault_tolerance",
@@ -206,12 +208,9 @@ def main(argv=None) -> int:
             "fault_tolerant_ratio": round(
                 fault_tolerant["serviced_ratio"], 4),
             "baseline_ratio": round(baseline["serviced_ratio"], 4),
-            "pass": gate_pass,
         },
     }
-    with open(JSON_PATH, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    exit_code = write_result(JSON_PATH, payload, gates)
 
     rows = [
         ("baseline", baseline["submitted"], baseline["serviced"],
@@ -226,14 +225,14 @@ def main(argv=None) -> int:
         ("policy", "submitted", "serviced", "failed", "ratio",
          "retries", "failovers"), rows)
     verdict = (f"gate (fault_tolerant >= {TARGET_RATIO:.0%} and > "
-               f"baseline): {'PASS' if gate_pass else 'FAIL'} "
+               f"baseline): {'PASS' if exit_code == 0 else 'FAIL'} "
                f"(ft {fault_tolerant['serviced_ratio']:.1%} vs baseline "
                f"{baseline['serviced_ratio']:.1%})")
     record("fault_tolerance",
            "Fault tolerance: serviced fraction under random outages",
            table + "\n\n" + verdict +
            f"\nJSON: {os.path.relpath(JSON_PATH)}")
-    return 0 if gate_pass else 1
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -35,7 +35,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
 sys.path.insert(0, os.path.dirname(__file__))
 
-from _common import format_table, record  # noqa: E402
+from _common import format_table, record, write_result  # noqa: E402
 
 from repro import (  # noqa: E402
     AortaEngine,
@@ -235,7 +235,6 @@ def main(argv=None) -> int:
         "baseline_degrades": off_path["fraction"] < HIGH_PRIORITY_TARGET,
         "deterministic": deterministic,
     }
-    gate_pass = all(gates.values())
 
     payload = {
         "benchmark": "bench_overload",
@@ -264,14 +263,10 @@ def main(argv=None) -> int:
             key: value for key, value in stats.items()
             if key.startswith("overload_") or key == "requests_shed"},
         "deterministic": deterministic,
-        "gates": gates,
-        "pass": gate_pass,
     }
-    with open(JSON_PATH, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    exit_code = write_result(JSON_PATH, payload, gates)
 
-    verdict = "PASS" if gate_pass else "FAIL"
+    verdict = "PASS" if exit_code == 0 else "FAIL"
     table = format_table(
         ("mode", "tier-3 served", "fraction"),
         [("overload on", f"{on_path['serviced']}"
@@ -291,7 +286,7 @@ def main(argv=None) -> int:
         f"verdict: {verdict}\n"
         f"JSON: {os.path.relpath(JSON_PATH)}")
     record("overload", "Overload control under a request storm", body)
-    return 0 if gate_pass else 1
+    return exit_code
 
 
 if __name__ == "__main__":

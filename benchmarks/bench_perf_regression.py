@@ -42,7 +42,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import random
 import sys
@@ -51,7 +50,7 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 sys.path.insert(0, os.path.dirname(__file__))
 
-from _common import ALGORITHM_ORDER, format_table, record  # noqa: E402
+from _common import ALGORITHM_ORDER, format_table, record, write_result  # noqa: E402
 
 from repro.actions.request import ActionRequest  # noqa: E402
 from repro.core.dispatcher import _ActionCostAdapter  # noqa: E402
@@ -419,12 +418,14 @@ def main(argv=None) -> int:
         "vector_identical": vector_identical,
         "incremental_identity": incremental_cell["unchanged_identical"],
     }
-    gate_pass = all(value for value in equivalence.values()
-                    if value is not None)
+    # None-valued equivalence checks (e.g. vector identity without
+    # numpy) are skipped, not silently passed or failed.
+    gates = {name: value for name, value in equivalence.items()
+             if value is not None}
     vector_acceptance = None
     incremental_acceptance = None
     if not args.smoke:
-        gate_pass = gate_pass and all(
+        gates["oracle_speedup"] = all(
             results[name][gate_size]["speedup_warm"] >= TARGET_SPEEDUP
             for name in GATED_ALGORITHMS)
         vector_size = "x".join(map(str, VECTOR_SIZES[-1]))
@@ -433,13 +434,13 @@ def main(argv=None) -> int:
                 f"{name}@{vector_size}": round(
                     vector_results[name][vector_size]["speedup"], 2)
                 for name in VECTOR_TARGETS}
-            gate_pass = gate_pass and all(
+            gates["vector_speedup"] = all(
                 vector_results[name][vector_size]["speedup"] >= floor
                 for name, floor in VECTOR_TARGETS.items())
         incremental_acceptance = {
             f"SRFAE@{inc_n}x{inc_m}": round(incremental_cell["speedup"], 2),
             "target": INCREMENTAL_TARGET}
-        gate_pass = gate_pass and \
+        gates["incremental_speedup"] = \
             incremental_cell["speedup"] >= INCREMENTAL_TARGET
 
     payload = {
@@ -468,22 +469,19 @@ def main(argv=None) -> int:
                  "speedups": acceptance,
                  "vector": vector_acceptance,
                  "incremental": incremental_acceptance,
-                 "equivalence": equivalence,
-                 "pass": gate_pass},
+                 "equivalence": equivalence},
         "results": results,
         "vector_results": vector_results,
         "incremental_result": incremental_cell,
     }
-    with open(JSON_PATH, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    exit_code = write_result(JSON_PATH, payload, gates)
 
     table = format_table(
         ("algorithm", "size", "uncached ms", "cold ms", "warm ms",
          "warm speedup", "warm hit rate"), rows)
     scope = ("equivalence only (smoke)" if args.smoke
              else "equivalence + speedup floors")
-    verdict = (f"gate [{scope}]: {'PASS' if gate_pass else 'FAIL'} "
+    verdict = (f"gate [{scope}]: {'PASS' if exit_code == 0 else 'FAIL'} "
                f"oracle={acceptance} vector={vector_acceptance} "
                f"incremental={incremental_acceptance} "
                f"equivalence={equivalence}")
@@ -491,7 +489,7 @@ def main(argv=None) -> int:
            "Scheduling-time regression: oracle, vector, incremental",
            table + "\n\n" + verdict +
            f"\nJSON: {os.path.relpath(JSON_PATH)}")
-    return 0 if gate_pass else 1
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -1,0 +1,258 @@
+"""Sharded-coordinator benchmark: band-storm scaling and identity.
+
+Drives one fleet-wide band-storm workload — R regions of wide-range
+cameras plus one sensor mote each, every camera covering every mote —
+through :class:`~repro.shard.ShardedEngine` at two widths:
+
+* ``shards=1`` — the whole fleet on a single engine. Every band event
+  produces a request whose candidate set is *all* cameras, so each
+  dispatch pays probe + cost-estimate work proportional to the fleet.
+* ``shards=R`` — one region per shard. Each shard's continuous
+  executor sees only its own mote and cameras, so the same event costs
+  1/R of the candidate work.
+
+Three gates, written to ``BENCH_sharding.json``:
+
+* **throughput_scaling** — serviced throughput (requests serviced per
+  wall-clock second of ``run()``) at 8 shards is >= 3x the 1-shard
+  figure on the 5000-camera storm. Full runs only; in ``--smoke`` the
+  ratio is measured and recorded but not gated.
+* **workload_conserved** — both widths service exactly one request per
+  injected band event: sharding changes the cost, not the answer.
+* **single_shard_identity** — a 1-shard fleet's normalized dump of the
+  Figure-1 snapshot scenario is byte-identical to the plain
+  unsharded engine's (the coordinator's delegation path is inert).
+* **deterministic** — two identical sharded storm runs produce
+  byte-identical per-shard dumps.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sharding.py \
+        [--smoke] [--shards N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from _common import format_table, record, write_result  # noqa: E402
+
+from repro import (  # noqa: E402
+    EngineConfig,
+    PanTiltZoomCamera,
+    Point,
+    RegionPlacement,
+    SensorMote,
+    SensorStimulus,
+    ShardedEngine,
+)
+
+from tests.obs.golden import diff_dumps, dump_engine  # noqa: E402
+from tests.obs.scenarios import snapshot_scenario  # noqa: E402
+from tests.shard.scenarios import sharded_snapshot_scenario  # noqa: E402
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), "..",
+                         "BENCH_sharding.json")
+
+#: The gate configuration: a 5000-camera fleet split eight ways.
+FULL_SHARDS = 8
+FULL_CAMERAS = 5000
+SMOKE_CAMERAS = 192
+
+#: Band events per region. Every event is one stimulus on the region's
+#: mote, one query firing, one serviced photo — at both widths.
+FULL_EVENTS_PER_REGION = 4
+SMOKE_EVENTS_PER_REGION = 2
+
+#: Required serviced-throughput ratio, 8 shards vs 1, full runs.
+TARGET_SCALING = 3.0
+
+#: Storm cadence: events inside a region are EVENT_PERIOD apart;
+#: regions are staggered by REGION_STAGGER so the fleet sees a rolling
+#: storm rather than R simultaneous detections.
+EVENT_PERIOD = 10.0
+REGION_STAGGER = 0.25
+STIMULUS_SECONDS = 3.0
+DRAIN = 15.0
+
+BAND_AQ = '''CREATE AQ band_storm AS
+    SELECT photo(c.ip, s.loc, "photos/storm")
+    FROM sensor s, camera c
+    WHERE s.accel_x > 500 AND coverage(c.id, s.loc)'''
+
+
+def build_fleet(shards: int, n_regions: int,
+                cameras_per_region: int) -> ShardedEngine:
+    """The storm fleet: identical devices regardless of the width.
+
+    Cameras have effectively unbounded range, so in the 1-shard engine
+    every camera covers every mote and each request carries the whole
+    fleet as candidates; per-region shards carry only their own
+    cameras. Region r maps to shard ``r % shards`` — the same region
+    layout collapses onto one shard for the baseline.
+    """
+    assignments = {}
+    for region in range(n_regions):
+        for k in range(cameras_per_region):
+            assignments[f"cam{region:02d}_{k:04d}"] = region % shards
+        assignments[f"mote{region:02d}"] = region % shards
+    placement = RegionPlacement(shards, assignments)
+    config = EngineConfig(shards=shards, probing=False)
+    fleet = ShardedEngine(config=config, placement=placement, seed=0)
+    for region in range(n_regions):
+        base = 100.0 * region
+        for k in range(cameras_per_region):
+            fleet.add_device(
+                f"cam{region:02d}_{k:04d}",
+                lambda env, region=region, k=k, base=base:
+                PanTiltZoomCamera(
+                    env, f"cam{region:02d}_{k:04d}",
+                    Point(base + 0.01 * k, 0.0), facing=0.0,
+                    view_half_angle=170.0, view_range=1e9))
+        fleet.add_device(
+            f"mote{region:02d}",
+            lambda env, region=region, base=base: SensorMote(
+                env, f"mote{region:02d}", Point(base + 5.0, 3.0),
+                noise_amplitude=0.0))
+    fleet.execute(BAND_AQ)
+    return fleet
+
+
+def run_storm(shards: int, n_regions: int, cameras_per_region: int,
+              events_per_region: int) -> dict:
+    """One full storm at the given width; wall-clock covers run()."""
+    fleet = build_fleet(shards, n_regions, cameras_per_region)
+    for region in range(n_regions):
+        for event in range(events_per_region):
+            fleet.inject(
+                f"mote{region:02d}",
+                SensorStimulus(
+                    "accel_x",
+                    start=2.0 + EVENT_PERIOD * event
+                    + REGION_STAGGER * region,
+                    duration=STIMULUS_SECONDS, magnitude=850.0))
+    fleet.start()
+    horizon = 2.0 + EVENT_PERIOD * events_per_region + DRAIN
+    started = time.perf_counter()
+    fleet.run(until=horizon)
+    wall_s = time.perf_counter() - started
+    stats = fleet.statistics()
+    serviced = stats["requests_serviced"]
+    return {
+        "shards": shards,
+        "devices": stats["devices"],
+        "serviced": serviced,
+        "wall_s": round(wall_s, 4),
+        "throughput_per_s": round(serviced / wall_s, 4) if wall_s > 0
+        else float("inf"),
+        "dumps": [json.dumps(dump_engine(shard), sort_keys=True)
+                  for shard in fleet.shards],
+    }
+
+
+def check_single_shard_identity() -> dict:
+    """Figure-1 snapshot: 1-shard fleet vs the plain engine."""
+    plain = snapshot_scenario(observability=True)
+    fleet = sharded_snapshot_scenario(observability=True)
+    differences = diff_dumps(dump_engine(plain), dump_engine(fleet))
+    return {"identical": not differences,
+            "differences": differences[:5]}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fleet; scaling measured, not gated")
+    parser.add_argument("--shards", type=int, default=FULL_SHARDS,
+                        help="sharded width of the storm (default 8)")
+    args = parser.parse_args(argv)
+    if args.shards < 2:
+        parser.error("--shards must be >= 2 (the baseline is 1)")
+
+    n_regions = args.shards
+    total = SMOKE_CAMERAS if args.smoke else FULL_CAMERAS
+    cameras_per_region = max(1, total // n_regions)
+    events = SMOKE_EVENTS_PER_REGION if args.smoke \
+        else FULL_EVENTS_PER_REGION
+    expected = n_regions * events
+
+    print("checking 1-shard delegation identity ...", flush=True)
+    identity = check_single_shard_identity()
+
+    label = f"{n_regions * cameras_per_region} cameras, {n_regions} regions"
+    print(f"running {label}, shards=1 (baseline) ...", flush=True)
+    single = run_storm(1, n_regions, cameras_per_region, events)
+    print(f"running {label}, shards={args.shards} (run 1) ...", flush=True)
+    sharded = run_storm(args.shards, n_regions, cameras_per_region, events)
+    print(f"running {label}, shards={args.shards} (run 2) ...", flush=True)
+    repeat = run_storm(args.shards, n_regions, cameras_per_region, events)
+
+    deterministic = sharded["dumps"] == repeat["dumps"]
+    for run in (single, sharded, repeat):
+        run.pop("dumps")
+    scaling = (sharded["throughput_per_s"] / single["throughput_per_s"]
+               if single["throughput_per_s"] else float("inf"))
+
+    gates = {
+        "workload_conserved": single["serviced"] == expected
+        and sharded["serviced"] == expected,
+        "single_shard_identity": identity["identical"],
+        "deterministic": deterministic,
+    }
+    if not args.smoke:
+        # The scaling gate needs the full-size fleet: at smoke scale
+        # fixed simulation overhead drowns the candidate-set savings.
+        gates["throughput_scaling"] = scaling >= TARGET_SCALING
+
+    payload = {
+        "benchmark": "bench_sharding",
+        "smoke": args.smoke,
+        "workload": (f"{n_regions * cameras_per_region} wide-range "
+                     f"cameras + {n_regions} motes across {n_regions} "
+                     f"regions; {events} band events per region every "
+                     f"{EVENT_PERIOD}s, staggered {REGION_STAGGER}s per "
+                     f"region; probing off"),
+        "expected_serviced": expected,
+        "single_shard": single,
+        "sharded": sharded,
+        "scaling": {
+            "ratio": round(scaling, 3),
+            "target": TARGET_SCALING,
+            "gated": not args.smoke,
+        },
+        "single_shard_identity": identity,
+        "deterministic": deterministic,
+    }
+    exit_code = write_result(JSON_PATH, payload, gates)
+
+    verdict = "PASS" if exit_code == 0 else "FAIL"
+    table = format_table(
+        ("width", "devices", "serviced", "wall s", "req/s"),
+        [(f"shards=1", single["devices"], single["serviced"],
+          single["wall_s"], single["throughput_per_s"]),
+         (f"shards={args.shards}", sharded["devices"],
+          sharded["serviced"], sharded["wall_s"],
+          sharded["throughput_per_s"])])
+    body = (
+        f"{table}\n"
+        f"scaling: {scaling:.2f}x (target {TARGET_SCALING:.0f}x"
+        f"{', not gated in smoke' if args.smoke else ''})\n"
+        f"1-shard delegation identical to plain engine: "
+        f"{identity['identical']}\n"
+        f"deterministic repeat: {deterministic}\n"
+        f"verdict: {verdict}\n"
+        f"JSON: {os.path.relpath(JSON_PATH)}")
+    record("sharding", "Sharded coordinator: band-storm scaling", body)
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,6 +42,7 @@ from repro.runtime import (
     VirtualRuntime,
     create_runtime,
 )
+from repro.shard import HashPlacement, RegionPlacement, ShardedEngine
 from repro.sim import Environment
 
 __version__ = "1.0.0"
@@ -51,15 +52,18 @@ __all__ = [
     "DeviceHealthTracker",
     "EngineConfig",
     "Environment",
+    "HashPlacement",
     "HealthPolicy",
     "MobilePhone",
     "OverloadPolicy",
     "PanTiltZoomCamera",
     "Point",
     "RealtimeRuntime",
+    "RegionPlacement",
     "RetryPolicy",
     "Runtime",
     "SensorMote",
+    "ShardedEngine",
     "SensorStimulus",
     "TierRate",
     "VirtualRuntime",

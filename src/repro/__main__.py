@@ -17,11 +17,18 @@ from repro import (
     EngineConfig,
     PanTiltZoomCamera,
     Point,
+    RegionPlacement,
     SensorMote,
     SensorStimulus,
+    ShardedEngine,
 )
 from repro.obs import metrics_to_json, metrics_to_text, span_tree_text
 from repro.runtime import RUNTIME_NAMES
+
+DEMO_AQ = '''CREATE AQ snapshot AS
+    SELECT photo(c.ip, s.loc, "photos/admin")
+    FROM sensor s, camera c
+    WHERE s.accel_x > 500 AND coverage(c.id, s.loc)'''
 
 BANNER = f"""Aorta {repro.__version__} — pervasive query processing
 Reproduction of Xue, Luo, Ni: "Systems Support for Pervasive Query
@@ -65,10 +72,7 @@ def _demo_engine(*, observability: bool = False,
                                         facing=180.0))
     mote = SensorMote(env, "mote1", Point(5, 3), noise_amplitude=0.0)
     engine.add_device(mote)
-    engine.execute('''CREATE AQ snapshot AS
-        SELECT photo(c.ip, s.loc, "photos/admin")
-        FROM sensor s, camera c
-        WHERE s.accel_x > 500 AND coverage(c.id, s.loc)''')
+    engine.execute(DEMO_AQ)
     mote.inject(SensorStimulus("accel_x", start=2.0, duration=3.0,
                                magnitude=850.0))
     if overload:
@@ -76,6 +80,64 @@ def _demo_engine(*, observability: bool = False,
     engine.start()
     engine.run(until=30.0)
     return engine
+
+
+def _demo_fleet(shards: int, *,
+                observability: bool = False) -> ShardedEngine:
+    """The Figure 1 scenario replicated across ``shards`` regions.
+
+    Each region (= shard, via explicit region placement) gets the
+    paper's two ceiling cameras and one sensor mote; every region's
+    mote fires at a staggered time so each shard services one photo of
+    its own. Built and run, like :func:`_demo_engine`.
+    """
+    regions = {
+        f"region{index:02d}": [f"cam{index:02d}a", f"cam{index:02d}b",
+                               f"mote{index:02d}"]
+        for index in range(shards)
+    }
+    fleet = ShardedEngine(
+        config=EngineConfig(observability=observability, shards=shards),
+        placement=RegionPlacement.from_regions(regions), seed=0)
+    for index in range(shards):
+        tag = f"{index:02d}"
+        fleet.add_device(f"cam{tag}a", lambda env, tag=tag, index=index:
+                         PanTiltZoomCamera(env, f"cam{tag}a", Point(0, 0),
+                                           ip_address=f"10.0.{index}.1"))
+        fleet.add_device(f"cam{tag}b", lambda env, tag=tag, index=index:
+                         PanTiltZoomCamera(env, f"cam{tag}b", Point(20, 0),
+                                           facing=180.0,
+                                           ip_address=f"10.0.{index}.2"))
+        fleet.add_device(f"mote{tag}", lambda env, tag=tag:
+                         SensorMote(env, f"mote{tag}", Point(5, 3),
+                                    noise_amplitude=0.0))
+    fleet.execute(DEMO_AQ)
+    for index in range(shards):
+        fleet.inject(f"mote{index:02d}",
+                     SensorStimulus("accel_x", start=2.0 + index,
+                                    duration=3.0, magnitude=850.0))
+    fleet.start()
+    fleet.run(until=30.0 + shards)
+    return fleet
+
+
+def run_sharded_demo(shards: int) -> int:
+    """The Figure 1 scenario fanned out across ``shards`` regions."""
+    fleet = _demo_fleet(shards)
+    print(f"Fleet of {fleet.n_shards} shards "
+          f"(region placement, one region per shard)")
+    for index, shard in enumerate(fleet.shards):
+        stats = shard.statistics()
+        print(f"  shard {index}: {stats['devices']} devices, "
+              f"{stats['requests_serviced']} serviced")
+    stats = fleet.statistics()
+    print(f"Fleet total: {stats['devices']} devices, "
+          f"{stats['requests_serviced']} serviced, "
+          f"{stats['queries']} AQ registrations")
+    for request in fleet.completed_requests:
+        print(f"  {request.request_id}: {request.result.pathname} "
+              f"({request.completion_seconds:.2f}s after the event)")
+    return 0
 
 
 def _inject_demo_storm(engine: AortaEngine) -> None:
@@ -113,6 +175,21 @@ def run_demo(*, runtime: str = "virtual",
     request = engine.completed_requests[0]
     print(f"\nPhoto stored at {request.result.pathname} "
           f"({request.completion_seconds:.2f}s after the event)")
+    return 0
+
+
+def run_sharded_metrics(shards: int, *, as_json: bool = False) -> int:
+    """Run the sharded demo with observability; print labeled metrics.
+
+    Every series carries a ``shard=<i>`` label, so per-shard activity
+    stays distinguishable in the merged fleet snapshot.
+    """
+    fleet = _demo_fleet(shards, observability=True)
+    snapshot = fleet.shard_labeled_metrics()
+    if as_json:
+        print(metrics_to_json(snapshot))
+    else:
+        print(metrics_to_text(snapshot))
     return 0
 
 
@@ -188,6 +265,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="realtime pacing: wall seconds per runtime "
                              "second (0 = fire timers immediately; "
                              "default 1.0)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="partition the demo fleet across N engine "
+                             "shards (region placement, one Figure 1 "
+                             "region per shard; default 1 = the plain "
+                             "engine)")
     parser.add_argument("--version", action="store_true",
                         help="print the version and exit")
     subcommands = parser.add_subparsers(dest="command")
@@ -209,16 +291,24 @@ def main(argv: list[str] | None = None) -> int:
                               "inject a request storm, and report "
                               "per-tier admission/shedding counters "
                               "and peak queue depths")
+    metrics.add_argument("--shards", type=int, default=1,
+                         help="run the sharded demo fleet and print "
+                              "shard-labeled fleet metrics (default 1 "
+                              "= the plain engine snapshot)")
     args = parser.parse_args(argv)
     if args.version:
         print(repro.__version__)
         return 0
     if args.command == "metrics":
+        if args.shards > 1:
+            return run_sharded_metrics(args.shards, as_json=args.json)
         return run_metrics(as_json=args.json, spans=args.spans,
                            fastpath=args.fastpath,
                            overload=args.overload)
     print(BANNER)
     if args.demo:
+        if args.shards > 1:
+            return run_sharded_demo(args.shards)
         return run_demo(runtime=args.runtime, time_scale=args.time_scale)
     print("Run with --demo for the Figure 1 scenario, or see examples/.")
     return 0

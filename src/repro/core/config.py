@@ -175,6 +175,16 @@ class EngineConfig:
     #: :class:`~repro.overload.policy.OverloadPolicy`. Only read when
     #: ``overload`` is True.
     overload_policy: Optional["OverloadPolicy"] = None
+    #: Number of engine shards the fleet is partitioned across. Only
+    #: :class:`~repro.shard.ShardedEngine` honours values above 1 — a
+    #: plain :class:`~repro.core.engine.AortaEngine` owns exactly one
+    #: partition and refuses a multi-shard config so a sharded config
+    #: can never silently run unsharded.
+    shards: int = 1
+    #: Lockstep bound for multi-shard runs: no shard's clock may lead
+    #: the slowest by more than this many runtime seconds. Ignored when
+    #: ``shards == 1`` (a single shard runs in one uninterrupted call).
+    shard_quantum: float = 1.0
 
     def __post_init__(self) -> None:
         if self.poll_interval <= 0:
@@ -208,6 +218,10 @@ class EngineConfig:
                     raise AortaError(
                         f"status TTL for {device_type!r} must be "
                         f"positive, got {ttl}")
+        if self.shards < 1:
+            raise AortaError(f"shards must be >= 1, got {self.shards}")
+        if self.shard_quantum <= 0:
+            raise AortaError("shard_quantum must be positive")
 
     @property
     def synchronization(self) -> bool:

@@ -69,6 +69,11 @@ class AortaEngine:
         seed: int = 0,
     ) -> None:
         self.config = config or EngineConfig()
+        if self.config.shards != 1:
+            raise AortaError(
+                f"AortaEngine owns exactly one shard; a config with "
+                f"shards={self.config.shards} needs "
+                f"repro.shard.ShardedEngine")
         #: The runtime backend everything runs on. An explicit ``env``
         #: wins; otherwise the config's ``runtime``/``time_scale``
         #: selection builds one (default: virtual time).

@@ -163,3 +163,13 @@ class QueueFullError(OverloadError):
     is the least worth keeping. The producer should treat this as a
     deferred-retry signal, not a permanent failure.
     """
+
+
+class ShardingError(AortaError):
+    """The sharded fleet coordinator was misused.
+
+    Raised for placement violations (a device no region placement
+    knows, a shard index out of range), operations that need a single
+    shard (snapshot SELECT on a multi-shard fleet), and requests whose
+    candidate devices are registered on no shard.
+    """

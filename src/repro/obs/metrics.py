@@ -213,6 +213,37 @@ class MetricsRegistry:
         return {"counters": counters, "gauges": gauges,
                 "histograms": histograms}
 
+    def relabeled(self, **labels: Any) -> "MetricsRegistry":
+        """A deep copy of this registry with extra labels on every series.
+
+        Built for sharded fleets: each shard's registry stays unlabeled
+        (so a 1-shard fleet is byte-identical to a plain engine), and
+        the coordinator stamps ``shard=<i>`` onto copies at render time
+        before merging them into one fleet view. A series that already
+        carries one of the new labels is an error — silently
+        overwriting would alias two different series.
+        """
+        copy = MetricsRegistry()
+        for (name, existing), metric in self._metrics.items():
+            for label in labels:
+                if any(label == key for key, _ in existing):
+                    raise AortaError(
+                        f"metric {render_key((name, existing))!r} already "
+                        f"carries label {label!r}; cannot relabel")
+            combined = dict(existing)
+            combined.update(labels)
+            if isinstance(metric, Counter):
+                mine = copy._series(Counter, name, combined)
+                mine.value = metric.value
+            elif isinstance(metric, Gauge):
+                mine = copy._series(Gauge, name, combined)
+                mine.value = metric.value
+            else:
+                mine = copy._series(Histogram, name, combined,
+                                    buckets=metric.buckets)
+                mine.merge(metric)
+        return copy
+
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry into this one.
 

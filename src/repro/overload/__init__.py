@@ -5,13 +5,18 @@ byte-identical to one built before this subsystem existed (the golden
 traces pin it). See DESIGN.md decision 12 for the policy rationale.
 """
 
-from repro.overload.admission import AdmissionController, TokenBucket
+from repro.overload.admission import (
+    AdmissionController,
+    CapacityLedger,
+    TokenBucket,
+)
 from repro.overload.plane import OverloadControlPlane
 from repro.overload.policy import OverloadPolicy, TierRate
 from repro.overload.shedding import LoadShedder
 
 __all__ = [
     "AdmissionController",
+    "CapacityLedger",
     "LoadShedder",
     "OverloadControlPlane",
     "OverloadPolicy",

@@ -55,20 +55,57 @@ class TokenBucket:
         return False
 
 
-class AdmissionController:
-    """The two admission gates, shared by registration and ingestion."""
+class CapacityLedger:
+    """Windowed fleet-capacity accounting, shareable across shards.
+
+    Commitments are keyed by window index (``now // horizon``) instead
+    of a single "current window" cursor, so the ledger tolerates reads
+    at non-monotonic times: shards of a fleet advance their clocks
+    independently (a lockstep round steps them one after another), and
+    a shard sampling window *k* must not wipe the commitments another
+    shard just charged to window *k+1*. For a single engine on one
+    monotonic clock the arithmetic is identical to the pre-ledger
+    cursor implementation.
+    """
 
     def __init__(self, policy: OverloadPolicy,
                  fleet_size: Callable[[], int]) -> None:
         self.policy = policy
         self._fleet_size = fleet_size
+        #: Service-seconds committed, keyed by capacity-window index.
+        self._committed: Dict[int, float] = {}
+
+    def _window(self, now: float) -> int:
+        return int(now // self.policy.capacity_horizon)
+
+    def available(self, now: float) -> float:
+        """Uncommitted device-seconds in ``now``'s capacity window."""
+        budget = (self._fleet_size() * self.policy.capacity_horizon
+                  * self.policy.utilization_cap)
+        return budget - self._committed.get(self._window(now), 0.0)
+
+    def commit(self, now: float, seconds: float) -> None:
+        """Charge ``seconds`` of admitted work to ``now``'s window."""
+        window = self._window(now)
+        self._committed[window] = self._committed.get(window, 0.0) + seconds
+
+
+class AdmissionController:
+    """The two admission gates, shared by registration and ingestion."""
+
+    def __init__(self, policy: OverloadPolicy,
+                 fleet_size: Callable[[], int],
+                 capacity: Optional[CapacityLedger] = None) -> None:
+        self.policy = policy
+        #: The capacity ledger this controller charges. Per-controller
+        #: by default; a sharded fleet replaces it with one shared
+        #: ledger so every shard's admissions draw from the same
+        #: fleet-wide budget.
+        self.capacity = capacity if capacity is not None \
+            else CapacityLedger(policy, fleet_size)
         self._request_buckets = self._build_buckets(policy.tier_rates)
         self._registration_buckets = self._build_buckets(
             policy.registration_rates)
-        #: Capacity window accounting: index of the window last charged
-        #: and service-seconds committed within it.
-        self._window_index = -1
-        self._committed_seconds = 0.0
         self.admitted_queries = 0
         self.rejected_queries = 0
         self.admitted_requests = 0
@@ -82,20 +119,6 @@ class AdmissionController:
             return {}
         return {tier: TokenBucket(spec.rate, spec.burst)
                 for tier, spec in sorted(rates.items())}
-
-    # ------------------------------------------------------------------
-    # Capacity window
-    # ------------------------------------------------------------------
-    def _window_available(self, now: float) -> float:
-        """Uncommitted device-seconds in the current window."""
-        horizon = self.policy.capacity_horizon
-        index = int(now // horizon)
-        if index != self._window_index:
-            self._window_index = index
-            self._committed_seconds = 0.0
-        budget = (self._fleet_size() * horizon
-                  * self.policy.utilization_cap)
-        return budget - self._committed_seconds
 
     # ------------------------------------------------------------------
     # The gates
@@ -122,11 +145,11 @@ class AdmissionController:
         if bucket is not None and not bucket.try_take(now):
             self.rejected_requests += 1
             return REASON_RATE
-        available = self._window_available(now)
+        available = self.capacity.available(now)
         if (priority < self.policy.capacity_protect_tier
                 and estimated_seconds > available):
             self.rejected_requests += 1
             return REASON_CAPACITY
-        self._committed_seconds += estimated_seconds
+        self.capacity.commit(now, estimated_seconds)
         self.admitted_requests += 1
         return None

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import SimulationError
+from repro.runtime.fleet import run_lockstep
 from repro.runtime.protocol import Runtime
 from repro.sim import Environment, RealtimeRuntime
 
@@ -60,4 +61,5 @@ __all__ = [
     "Runtime",
     "VirtualRuntime",
     "create_runtime",
+    "run_lockstep",
 ]

@@ -1,0 +1,57 @@
+"""Coordinated advancement of a fleet of runtimes.
+
+A sharded fleet runs one runtime per shard. The shards own disjoint
+device sets, so their event streams never interact directly — but
+fleet-level state (the shared capacity ledger, merged statistics read
+mid-run) is sampled across shard clocks, and letting one shard race
+hours ahead of another would make those reads meaningless. The
+lockstep runner bounds the skew: it advances every runtime in rounds
+of at most ``quantum`` runtime seconds, so no shard's clock is ever
+more than one quantum ahead of the slowest.
+
+Each per-runtime ``run`` call inside a round carries the caller's
+``max_events`` as a watchdog: a runaway process on one shard raises
+:class:`~repro.errors.SimulationError` with queue diagnostics instead
+of stalling the whole fleet silently.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.runtime.protocol import Runtime
+
+
+def run_lockstep(
+    runtimes: Sequence[Runtime],
+    until: float,
+    *,
+    quantum: float = 1.0,
+    max_events: Optional[int] = None,
+) -> float:
+    """Advance every runtime to ``until`` in bounded-skew rounds.
+
+    Runtimes are stepped in sequence order within each round, so the
+    schedule is deterministic. A runtime already past the round's
+    deadline (because a previous coordinated run advanced it further)
+    is skipped for that round — ``run`` with a non-decreasing deadline
+    is the only call ever issued. Returns ``until``.
+    """
+    if quantum <= 0:
+        raise SimulationError(f"lockstep quantum must be positive, "
+                              f"got {quantum}")
+    if not runtimes:
+        raise SimulationError("run_lockstep needs at least one runtime")
+    floor = min(runtime.now for runtime in runtimes)
+    if until < floor:
+        raise SimulationError(
+            f"cannot run lockstep to t={until}: a runtime is already "
+            f"at t={floor}")
+    deadline = floor
+    while deadline < until:
+        deadline = min(deadline + quantum, until)
+        for runtime in runtimes:
+            if runtime.now <= deadline:
+                runtime.run(until=deadline, max_events=max_events)
+    return until

@@ -1,0 +1,454 @@
+"""The sharded fleet coordinator.
+
+One :class:`~repro.core.engine.AortaEngine` owns every device, query
+and scheduling decision of its partition. :class:`ShardedEngine`
+scales the system past a single scheduler loop by partitioning the
+device space across N such engines — each shard on its own runtime
+instance with its own seeded RNG substreams — and keeping only routing
+and aggregation at the coordinator:
+
+* **Placement** (:mod:`repro.shard.placement`) decides which shard
+  owns a device; admission, stimulus injection and request routing all
+  follow it.
+* **AQ fan-out**: a continuous query registers on every shard; each
+  shard's executor detects events and emits requests over its local
+  devices only, so a fleet-wide standing query costs each shard only
+  its own partition's candidate space.
+* **Batch splitting**: an externally submitted action request is
+  routed to the shard owning the plurality of its candidate devices,
+  with its candidate set restricted to that shard's partition;
+  completions merge back at the coordinator.
+* **Aggregation**: fleet statistics sum/max per-shard snapshots, and
+  fleet metrics merge per-shard registries through
+  :meth:`~repro.obs.metrics.MetricsRegistry.merge` — optionally
+  stamped with ``shard=<i>`` labels via
+  :meth:`~repro.obs.metrics.MetricsRegistry.relabeled`.
+* **Fleet capacity**: with overload control on, every shard's
+  admission controller is rewired to one shared
+  :class:`~repro.overload.admission.CapacityLedger`, so admission is
+  per-shard (rate limits, queues) but capacity accounting is
+  fleet-wide.
+
+The 1-shard fleet is a pure pass-through: every operation delegates to
+the single inner engine, whose construction is byte-identical to a
+plain ``AortaEngine`` (same raw seed, same config) — the equivalence
+suite in ``tests/shard`` pins this with golden traces.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+from dataclasses import replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ShardingError
+from repro.actions.request import ActionRequest
+from repro.core.config import EngineConfig
+from repro.core.engine import AortaEngine
+from repro.devices.base import Device
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime import Runtime
+from repro.runtime.fleet import run_lockstep
+from repro.shard.placement import HashPlacement, PlacementPolicy
+from repro.sim.rng import derive_seed
+
+#: A device constructor bound to a shard's runtime at admission time.
+#: The coordinator picks the owning shard first, then calls the
+#: factory with that shard's runtime — devices bind their runtime at
+#: construction, so they cannot be built before placement is known.
+DeviceFactory = Callable[[Runtime], Device]
+
+#: statistics() keys aggregated by maximum instead of sum: levels and
+#: clocks, where adding shards would be meaningless.
+_MAX_KEYS = frozenset({"virtual_time", "currently_quarantined"})
+
+#: statistics() keys aggregated by unweighted mean across the shards
+#: reporting them.
+_MEAN_KEYS = frozenset({"mean_recovery_seconds"})
+
+#: Dict-valued statistics() keys whose entries combine by maximum
+#: (per-operator peak depths: the fleet peak is the worst shard, not
+#: the sum of peaks that never coexisted in one queue).
+_MAX_DICT_KEYS = frozenset({"overload_peak_queue_depth"})
+
+
+class ShardedEngine:
+    """N engine shards behind one engine-shaped facade.
+
+    Typical use::
+
+        config = EngineConfig(shards=4)
+        fleet = ShardedEngine(config=config, seed=0)
+        fleet.add_device("cam1", lambda env: PanTiltZoomCamera(
+            env, "cam1", Point(0, 0)))
+        fleet.execute(CREATE_AQ_SQL)     # registers on every shard
+        fleet.start()
+        fleet.run(until=600.0)           # lockstep across shard clocks
+        fleet.statistics()               # fleet-wide aggregate
+    """
+
+    def __init__(
+        self,
+        *,
+        config: Optional[EngineConfig] = None,
+        placement: Optional[PlacementPolicy] = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or EngineConfig()
+        n = self.config.shards
+        self.placement: PlacementPolicy = (
+            placement if placement is not None else HashPlacement(n))
+        if self.placement.n_shards != n:
+            raise ShardingError(
+                f"placement covers {self.placement.n_shards} shard(s) "
+                f"but config.shards is {n}")
+        self.seed = seed
+        shard_config = replace(self.config, shards=1)
+        #: The inner engines, one per shard. The 1-shard fleet reuses
+        #: the raw master seed so it is byte-identical to a plain
+        #: engine; a multi-shard fleet gives each shard an independent
+        #: derived substream.
+        self.shards: List[AortaEngine] = [
+            AortaEngine(
+                config=shard_config,
+                seed=seed if n == 1 else derive_seed(seed, f"shard:{i}"))
+            for i in range(n)
+        ]
+        if self.config.overload and n > 1:
+            self._share_capacity_ledger()
+        self._started = False
+
+    def _share_capacity_ledger(self) -> None:
+        """Point every shard's admission at one fleet-wide ledger."""
+        from repro.overload import CapacityLedger, OverloadPolicy
+        policy = self.config.overload_policy or OverloadPolicy()
+        ledger = CapacityLedger(
+            policy,
+            fleet_size=lambda: sum(len(shard.comm.registry)
+                                   for shard in self.shards))
+        for shard in self.shards:
+            assert shard.overload is not None
+            shard.overload.admission.capacity = ledger
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def shard(self, index: int) -> AortaEngine:
+        """The shard at ``index``, bounds-checked."""
+        if not 0 <= index < len(self.shards):
+            raise ShardingError(
+                f"no shard {index}; the fleet has shards "
+                f"0..{len(self.shards) - 1}")
+        return self.shards[index]
+
+    def shard_of(self, device_id: str) -> int:
+        """Index of the shard owning ``device_id`` (placement lookup)."""
+        return self.placement.shard_of(device_id)
+
+    # ------------------------------------------------------------------
+    # Devices
+    # ------------------------------------------------------------------
+    def add_device(self, device_id: str, factory: DeviceFactory) -> Device:
+        """Admit one device to the shard its placement names.
+
+        The factory receives the owning shard's runtime and must build
+        a device with exactly ``device_id`` — a mismatch would strand
+        the device on a shard routing will never look at, so it is
+        refused loudly.
+        """
+        shard = self.shards[self.placement.shard_of(device_id)]
+        device = factory(shard.env)
+        if device.device_id != device_id:
+            raise ShardingError(
+                f"factory for {device_id!r} built device "
+                f"{device.device_id!r}; placement and routing key on "
+                f"the declared id")
+        shard.add_device(device)
+        return device
+
+    def device(self, device_id: str) -> Device:
+        """Look up an admitted device on its owning shard."""
+        shard = self.shards[self.placement.shard_of(device_id)]
+        return shard.comm.registry.get(device_id)
+
+    def inject(self, device_id: str, stimulus: Any) -> None:
+        """Deliver a sensor stimulus to its owning shard's device."""
+        device = self.device(device_id)
+        inject = getattr(device, "inject", None)
+        if inject is None:
+            raise ShardingError(
+                f"device {device_id!r} ({device.device_type}) does not "
+                f"accept injected stimuli")
+        inject(stimulus)
+
+    # ------------------------------------------------------------------
+    # The declarative interface
+    # ------------------------------------------------------------------
+    def execute(self, sql: str) -> Any:
+        """Execute one statement against the fleet.
+
+        CREATE ACTION / CREATE AQ / DROP AQ fan out to every shard
+        (returning the per-shard results as a list for the CREATE
+        forms); EXPLAIN describes shard 0's plan (all shards plan
+        identically). A snapshot SELECT needs one engine to own the
+        whole candidate space, so it is only legal on a 1-shard fleet —
+        on larger fleets, run it against a specific ``fleet.shard(i)``.
+        """
+        if self.n_shards == 1:
+            return self.shards[0].execute(sql)
+        from repro.query.ast import ExplainStatement, SelectQuery
+        from repro.query.parser import parse
+        statement = parse(sql)
+        if isinstance(statement, SelectQuery):
+            raise ShardingError(
+                "snapshot SELECT spans one engine's device space; on a "
+                f"{self.n_shards}-shard fleet run it against a single "
+                "shard (fleet.shard(i).execute(...))")
+        if isinstance(statement, ExplainStatement):
+            return self.shards[0].execute_statement(statement)
+        results = [shard.execute_statement(statement)
+                   for shard in self.shards]
+        return None if all(result is None for result in results) else results
+
+    def create_aq(self, sql: str, *, priority: int = 1,
+                  deadline_seconds: Optional[float] = None) -> Any:
+        """CREATE AQ with a service class, registered on every shard.
+
+        All-or-nothing: if any shard's admission control refuses the
+        registration, the query is dropped from the shards that already
+        accepted it before the error propagates — a standing query
+        either watches the whole fleet or none of it.
+        """
+        if self.n_shards == 1:
+            return self.shards[0].create_aq(
+                sql, priority=priority, deadline_seconds=deadline_seconds)
+        registered = []
+        try:
+            for shard in self.shards:
+                registered.append(shard.create_aq(
+                    sql, priority=priority,
+                    deadline_seconds=deadline_seconds))
+        except Exception:
+            for shard, query in zip(self.shards, registered):
+                shard.continuous.drop(query.plan.query_name)
+            raise
+        return registered
+
+    def install_action_code(self, library_path: str,
+                            implementation: Any) -> None:
+        """Install a CREATE ACTION executable on every shard."""
+        for shard in self.shards:
+            shard.install_action_code(library_path, implementation)
+
+    def install_action_profile(self, profile_path: str, profile: Any,
+                               resolver: Any, **kwargs: Any) -> None:
+        """Install a CREATE ACTION profile on every shard."""
+        for shard in self.shards:
+            shard.install_action_profile(profile_path, profile, resolver,
+                                         **kwargs)
+
+    # ------------------------------------------------------------------
+    # Request routing (cross-shard batch splitting)
+    # ------------------------------------------------------------------
+    def route(self, request: ActionRequest) -> Tuple[int, Tuple[str, ...]]:
+        """The owning shard of one request, by candidate plurality.
+
+        Returns ``(shard_index, owned_candidates)`` where the index is
+        the shard owning the most of the request's candidate devices
+        (ties break to the lowest index, so routing is deterministic)
+        and the tuple is the request's candidates restricted to that
+        shard's partition.
+        """
+        if not request.candidates:
+            raise ShardingError(
+                f"request {request.request_id!r} has no candidate "
+                f"devices to route by")
+        owners: Dict[int, List[str]] = {}
+        for device_id in request.candidates:
+            owners.setdefault(
+                self.placement.shard_of(device_id), []).append(device_id)
+        index = max(sorted(owners), key=lambda i: len(owners[i]))
+        return index, tuple(owners[index])
+
+    def submit(self, request: ActionRequest) -> int:
+        """Route one external request to its owning shard's operator.
+
+        The request's candidate set is narrowed to the owning shard's
+        devices before submission (a shard cannot schedule onto devices
+        it does not own). Returns the shard index the request landed
+        on; with overload control on, the shard's admission may still
+        mark it REJECTED (same contract as ``Dispatcher.submit``).
+        """
+        index, owned = self.route(request)
+        shard = self.shards[index]
+        request.candidates = owned
+        operator = shard.dispatcher.operator_for(
+            shard.actions.get(request.action_name))
+        shard.dispatcher.submit(operator, request)
+        return index
+
+    def submit_batch(self,
+                     requests: List[ActionRequest]) -> Dict[int, int]:
+        """Split a batch across shards; returns requests-per-shard."""
+        routed: Dict[int, int] = {}
+        for request in requests:
+            index = self.submit(request)
+            routed[index] = routed.get(index, 0) + 1
+        return routed
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch every shard's executor, dispatcher and shedder."""
+        if self._started:
+            raise ShardingError("fleet already started")
+        self._started = True
+        for shard in self.shards:
+            shard.start()
+
+    def run(self, until: float,
+            max_events: Optional[int] = None) -> float:
+        """Advance the fleet to ``until``.
+
+        One shard delegates to the inner engine's ``run`` (identical
+        call pattern to a plain engine, keeping traces byte-identical).
+        Multiple shards advance in lockstep rounds of
+        ``config.shard_quantum`` runtime seconds, with per-shard
+        ``engine.run`` spans wrapping the whole coordinated run and
+        ``max_events`` applied per shard per round as a watchdog.
+        """
+        if self.n_shards == 1:
+            return self.shards[0].run(until, max_events)
+        with ExitStack() as stack:
+            for shard in self.shards:
+                stack.enter_context(shard.obs.span("engine.run"))
+            stopped = run_lockstep(
+                [shard.env for shard in self.shards], until,
+                quantum=self.config.shard_quantum, max_events=max_events)
+        for shard in self.shards:
+            shard.obs.inc("engine.runs")
+        return stopped
+
+    # ------------------------------------------------------------------
+    # 1-shard pass-through surface (golden-dump compatibility)
+    # ------------------------------------------------------------------
+    def _single(self, attribute: str) -> AortaEngine:
+        if self.n_shards != 1:
+            raise ShardingError(
+                f"{attribute} is per-shard state on a "
+                f"{self.n_shards}-shard fleet; access it via "
+                f"fleet.shard(i).{attribute}")
+        return self.shards[0]
+
+    @property
+    def env(self) -> Runtime:
+        return self._single("env").env
+
+    @property
+    def tracer(self) -> Any:
+        return self._single("tracer").tracer
+
+    @property
+    def obs(self) -> Any:
+        return self._single("obs").obs
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    @property
+    def completed_requests(self) -> List[ActionRequest]:
+        """Every completed request fleet-wide, merged deterministically.
+
+        One shard returns the engine's own completion log (same list
+        object). Multiple shards merge by completion time, breaking
+        ties by request id, so the order is independent of shard
+        enumeration order.
+        """
+        if self.n_shards == 1:
+            return self.shards[0].completed_requests
+        merged: List[ActionRequest] = []
+        for shard in self.shards:
+            merged.extend(shard.completed_requests)
+        merged.sort(key=lambda request: (
+            request.completed_at if request.completed_at is not None
+            else float("inf"), request.request_id))
+        return merged
+
+    def device_report(self) -> Dict[str, Dict[str, Any]]:
+        """Per-device utilization across the fleet (disjoint union)."""
+        report: Dict[str, Dict[str, Any]] = {}
+        for shard in self.shards:
+            report.update(shard.device_report())
+        return report
+
+    def statistics(self) -> Dict[str, Any]:
+        """A fleet-wide status snapshot.
+
+        One shard returns the engine's own dict unchanged. Multiple
+        shards aggregate per-shard snapshots: numeric values sum,
+        except clocks/levels (max) and ``mean_*`` keys (unweighted
+        mean); booleans OR; dict values merge per entry (sum, except
+        peak depths which take the max). A ``shards`` key records the
+        fleet width. Per-shard snapshots stay available through
+        ``shard_statistics()``.
+        """
+        if self.n_shards == 1:
+            return self.shards[0].statistics()
+        snapshots = self.shard_statistics()
+        fleet: Dict[str, Any] = {"shards": self.n_shards}
+        counts: Dict[str, int] = {}
+        for snapshot in snapshots:
+            for key, value in snapshot.items():
+                counts[key] = counts.get(key, 0) + 1
+                if isinstance(value, dict):
+                    bucket = fleet.setdefault(key, {})
+                    combine = max if key in _MAX_DICT_KEYS else \
+                        (lambda a, b: a + b)
+                    for entry, amount in value.items():
+                        bucket[entry] = combine(bucket[entry], amount) \
+                            if entry in bucket else amount
+                elif isinstance(value, bool):
+                    fleet[key] = fleet.get(key, False) or value
+                elif key in _MAX_KEYS:
+                    fleet[key] = max(fleet.get(key, value), value)
+                else:
+                    fleet[key] = fleet.get(key, 0) + value
+        for key in _MEAN_KEYS:
+            if key in fleet:
+                fleet[key] = fleet[key] / counts[key]
+        return fleet
+
+    def shard_statistics(self) -> List[Dict[str, Any]]:
+        """Each shard's own statistics dict, in shard order."""
+        return [shard.statistics() for shard in self.shards]
+
+    def metrics(self) -> Dict[str, Any]:
+        """The fleet metric snapshot, merged without shard labels.
+
+        Equals the plain engine's snapshot on a 1-shard fleet; on
+        larger fleets, equal-name series from different shards fold
+        together (counters/histograms add, gauges max).
+        """
+        if self.n_shards == 1:
+            return self.shards[0].metrics()
+        merged = MetricsRegistry()
+        for shard in self.shards:
+            merged.merge(shard.obs.registry)
+        return merged.snapshot()
+
+    def shard_labeled_metrics(self) -> Dict[str, Any]:
+        """The fleet metric snapshot with ``shard=<i>`` on every series.
+
+        Per-shard registries stay unlabeled (pinning 1-shard golden
+        identity); labels are stamped onto copies at render time, so
+        the merged snapshot keeps one distinct series per shard.
+        """
+        merged = MetricsRegistry()
+        for index, shard in enumerate(self.shards):
+            merged.merge(shard.obs.registry.relabeled(shard=index))
+        return merged.snapshot()

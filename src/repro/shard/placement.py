@@ -1,0 +1,122 @@
+"""Device-to-shard placement policies.
+
+A placement policy answers exactly one question — which shard owns a
+device — and must answer it deterministically: the coordinator routes
+device admission, band-event injection and action requests by it, and
+two processes placing the same fleet must agree byte-for-byte.
+
+Two policies cover the paper's deployment stories:
+
+* :class:`HashPlacement` — stateless hash of the device id. Any
+  process can compute ownership without a directory, assignment is
+  total (every id owned by exactly one shard) and independent of the
+  order devices are admitted in.
+* :class:`RegionPlacement` — an explicit directory mapping device ids
+  to shards, for fleets organized by physical region (a campus, a
+  floor, a cell). Unknown devices are a loud
+  :class:`~repro.errors.ShardingError`, never a silent default shard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, Mapping, Protocol, runtime_checkable
+
+from repro.errors import ShardingError
+
+
+@runtime_checkable
+class PlacementPolicy(Protocol):
+    """Structural interface of a placement policy."""
+
+    #: Number of shards this policy places onto.
+    n_shards: int
+
+    def shard_of(self, device_id: str) -> int:
+        """Index of the shard owning ``device_id`` (0-based)."""
+        ...
+
+
+def _check_shard_count(n_shards: int) -> int:
+    if n_shards < 1:
+        raise ShardingError(f"n_shards must be >= 1, got {n_shards}")
+    return n_shards
+
+
+class HashPlacement:
+    """Stable hash-of-device-id placement.
+
+    Uses BLAKE2b rather than Python's ``hash()`` so the assignment is
+    identical across interpreter runs, platforms and processes (the
+    built-in string hash is salted per process).
+    """
+
+    def __init__(self, n_shards: int) -> None:
+        self.n_shards = _check_shard_count(n_shards)
+
+    def shard_of(self, device_id: str) -> int:
+        if not device_id:
+            raise ShardingError("cannot place an empty device id")
+        digest = hashlib.blake2b(device_id.encode("utf-8"),
+                                 digest_size=8).digest()
+        return int.from_bytes(digest, "big") % self.n_shards
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashPlacement(n_shards={self.n_shards})"
+
+
+class RegionPlacement:
+    """Explicit device-id -> shard directory placement.
+
+    Built either directly from an assignment map or from named regions
+    via :meth:`from_regions`. Looking up a device the directory does
+    not know raises :class:`~repro.errors.ShardingError` — a fleet
+    organized by explicit regions must never guess ownership.
+    """
+
+    def __init__(self, n_shards: int,
+                 assignments: Mapping[str, int]) -> None:
+        self.n_shards = _check_shard_count(n_shards)
+        self._assignments: Dict[str, int] = {}
+        for device_id, shard in assignments.items():
+            if not 0 <= shard < n_shards:
+                raise ShardingError(
+                    f"device {device_id!r} assigned to shard {shard}, "
+                    f"but the fleet has shards 0..{n_shards - 1}")
+            self._assignments[device_id] = shard
+
+    @classmethod
+    def from_regions(
+        cls, regions: Mapping[str, Iterable[str]]
+    ) -> "RegionPlacement":
+        """One shard per region, indexed in sorted region-name order.
+
+        ``{"east": ["cam1"], "west": ["cam2"]}`` puts cam1 on shard 0
+        and cam2 on shard 1 regardless of dict insertion order, so the
+        shard layout is a pure function of the region map's contents.
+        """
+        if not regions:
+            raise ShardingError("region placement needs at least one region")
+        assignments: Dict[str, int] = {}
+        for index, name in enumerate(sorted(regions)):
+            for device_id in regions[name]:
+                if device_id in assignments:
+                    raise ShardingError(
+                        f"device {device_id!r} appears in more than one "
+                        f"region")
+                assignments[device_id] = index
+        return cls(len(regions), assignments)
+
+    def shard_of(self, device_id: str) -> int:
+        shard = self._assignments.get(device_id)
+        if shard is None:
+            raise ShardingError(
+                f"device {device_id!r} has no region placement; known "
+                f"devices: {len(self._assignments)} across "
+                f"{self.n_shards} shard(s). Add it to the region map "
+                f"before admitting it to the fleet.")
+        return shard
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RegionPlacement(n_shards={self.n_shards}, "
+                f"devices={len(self._assignments)})")

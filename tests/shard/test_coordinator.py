@@ -1,0 +1,333 @@
+"""Coordinator behaviour: routing, lifecycle, errors, fleet capacity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AortaEngine,
+    EngineConfig,
+    HashPlacement,
+    PanTiltZoomCamera,
+    Point,
+    RegionPlacement,
+    SensorMote,
+    ShardedEngine,
+)
+from repro.actions.request import ActionRequest
+from repro.errors import (
+    AdmissionError,
+    AortaError,
+    ShardingError,
+    SimulationError,
+)
+from repro.overload import OverloadPolicy
+from repro.runtime import VirtualRuntime, run_lockstep
+from tests.shard.scenarios import FIGURE_1_AQ, region_layout
+
+TWO_REGIONS = RegionPlacement.from_regions(region_layout(2))
+
+
+def two_shard_fleet(**config_kwargs) -> ShardedEngine:
+    config = EngineConfig(shards=2, **config_kwargs)
+    fleet = ShardedEngine(config=config, placement=TWO_REGIONS, seed=0)
+    for index in range(2):
+        tag = f"{index:02d}"
+        offset = 1000.0 * index
+        fleet.add_device(f"cam{tag}a", lambda env, tag=tag, offset=offset:
+                         PanTiltZoomCamera(env, f"cam{tag}a",
+                                           Point(offset, 0)))
+        fleet.add_device(f"cam{tag}b", lambda env, tag=tag, offset=offset:
+                         PanTiltZoomCamera(env, f"cam{tag}b",
+                                           Point(offset + 20, 0),
+                                           facing=180.0))
+        fleet.add_device(f"mote{tag}", lambda env, tag=tag, offset=offset:
+                         SensorMote(env, f"mote{tag}",
+                                    Point(offset + 5, 3),
+                                    noise_amplitude=0.0))
+    return fleet
+
+
+# ----------------------------------------------------------------------
+# Construction and placement wiring
+# ----------------------------------------------------------------------
+def test_plain_engine_refuses_multi_shard_config():
+    with pytest.raises(AortaError, match="ShardedEngine"):
+        AortaEngine(config=EngineConfig(shards=2))
+
+
+def test_config_validates_shard_knobs():
+    with pytest.raises(AortaError):
+        EngineConfig(shards=0)
+    with pytest.raises(AortaError):
+        EngineConfig(shard_quantum=0.0)
+
+
+def test_placement_width_must_match_config():
+    with pytest.raises(ShardingError, match="config.shards"):
+        ShardedEngine(config=EngineConfig(shards=4),
+                      placement=HashPlacement(2))
+
+
+def test_each_shard_gets_its_own_runtime_and_seed():
+    fleet = two_shard_fleet()
+    assert fleet.shard(0).env is not fleet.shard(1).env
+    assert fleet.shard(0).seed != fleet.shard(1).seed
+    with pytest.raises(ShardingError):
+        fleet.shard(2)
+    with pytest.raises(ShardingError):
+        fleet.shard(-1)
+
+
+def test_devices_land_on_their_placed_shard():
+    fleet = two_shard_fleet()
+    assert len(fleet.shard(0).comm.registry) == 3
+    assert len(fleet.shard(1).comm.registry) == 3
+    assert fleet.shard_of("cam00a") == 0
+    assert fleet.shard_of("cam01b") == 1
+    assert fleet.device("mote01").device_id == "mote01"
+
+
+def test_factory_id_mismatch_is_refused():
+    fleet = ShardedEngine(config=EngineConfig(shards=2),
+                          placement=TWO_REGIONS, seed=0)
+    with pytest.raises(ShardingError, match="declared id"):
+        fleet.add_device("cam00a", lambda env: PanTiltZoomCamera(
+            env, "other", Point(0, 0)))
+
+
+def test_unplaced_device_is_refused_loudly():
+    fleet = two_shard_fleet()
+    with pytest.raises(ShardingError, match="ghost"):
+        fleet.add_device("ghost", lambda env: SensorMote(
+            env, "ghost", Point(0, 0)))
+    with pytest.raises(ShardingError, match="ghost"):
+        fleet.inject("ghost", None)
+
+
+def test_inject_refuses_devices_without_stimulus_support():
+    fleet = two_shard_fleet()
+    with pytest.raises(ShardingError, match="stimuli"):
+        fleet.inject("cam00a", None)
+
+
+# ----------------------------------------------------------------------
+# The declarative surface on a multi-shard fleet
+# ----------------------------------------------------------------------
+def test_create_aq_registers_on_every_shard():
+    fleet = two_shard_fleet()
+    result = fleet.execute(FIGURE_1_AQ)
+    assert len(result) == 2
+    for shard in fleet.shards:
+        assert "snapshot" in shard.continuous.queries
+
+
+def test_drop_aq_fans_out_and_returns_none():
+    fleet = two_shard_fleet()
+    fleet.execute(FIGURE_1_AQ)
+    assert fleet.execute("DROP AQ snapshot") is None
+    for shard in fleet.shards:
+        assert "snapshot" not in shard.continuous.queries
+
+
+def test_snapshot_select_needs_a_single_shard():
+    fleet = two_shard_fleet()
+    with pytest.raises(ShardingError, match="single shard"):
+        fleet.execute("SELECT s.accel_x FROM sensor s")
+
+
+def test_explain_describes_the_plan_without_registering():
+    fleet = two_shard_fleet()
+    description = fleet.execute(f"EXPLAIN {FIGURE_1_AQ}")
+    assert "photo" in description
+    for shard in fleet.shards:
+        assert not shard.continuous.queries
+
+
+def test_create_aq_admission_failure_rolls_back_earlier_shards(
+        monkeypatch):
+    fleet = two_shard_fleet()
+
+    def refuse(sql, **kwargs):
+        raise AdmissionError("tier rate exhausted")
+
+    monkeypatch.setattr(fleet.shards[1], "create_aq", refuse)
+    with pytest.raises(AdmissionError):
+        fleet.create_aq(FIGURE_1_AQ, priority=1)
+    # The shard that had already accepted must not keep a half-fleet
+    # registration.
+    assert "snapshot" not in fleet.shards[0].continuous.queries
+
+
+# ----------------------------------------------------------------------
+# Request routing
+# ----------------------------------------------------------------------
+def _request(candidates, request_id="x1"):
+    return ActionRequest(action_name="photo",
+                         arguments={"target": Point(5.0, 3.0),
+                                    "directory": "photos"},
+                         candidates=tuple(candidates),
+                         request_id=request_id)
+
+
+def test_route_picks_the_plurality_owner_and_restricts_candidates():
+    fleet = two_shard_fleet()
+    index, owned = fleet.route(
+        _request(["cam00a", "cam00b", "cam01a"]))
+    assert index == 0
+    assert owned == ("cam00a", "cam00b")
+
+
+def test_route_breaks_ownership_ties_to_the_lowest_shard():
+    fleet = two_shard_fleet()
+    index, owned = fleet.route(_request(["cam01a", "cam00a"]))
+    assert index == 0
+    assert owned == ("cam00a",)
+
+
+def test_route_refuses_requests_without_candidates():
+    fleet = two_shard_fleet()
+    with pytest.raises(ShardingError, match="no candidate"):
+        fleet.route(_request([]))
+
+
+def test_submit_batch_splits_across_shards_and_merges_completions():
+    fleet = two_shard_fleet()
+    fleet.start()
+    routed = fleet.submit_batch([
+        _request(["cam00a", "cam00b"], "b1"),
+        _request(["cam01a", "cam01b"], "b2"),
+        _request(["cam00a", "cam01a", "cam01b"], "b3"),
+    ])
+    assert routed == {0: 1, 1: 2}
+    fleet.run(until=30.0)
+    completed = {request.request_id: request
+                 for request in fleet.completed_requests}
+    assert set(completed) == {"b1", "b2", "b3"}
+    assert completed["b1"].state.value == "serviced"
+    assert completed["b3"].assigned_device in ("cam01a", "cam01b")
+    # The fleet-wide completion merge is ordered by completion time.
+    times = [request.completed_at
+             for request in fleet.completed_requests]
+    assert times == sorted(times)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle and the lockstep run loop
+# ----------------------------------------------------------------------
+def test_start_is_once_and_run_advances_every_shard_clock():
+    fleet = two_shard_fleet()
+    fleet.start()
+    with pytest.raises(ShardingError, match="already started"):
+        fleet.start()
+    fleet.run(until=12.5)
+    for shard in fleet.shards:
+        assert shard.env.now == 12.5
+    # A second run with a later deadline continues from where the
+    # lockstep left off.
+    fleet.run(until=20.0)
+    for shard in fleet.shards:
+        assert shard.env.now == 20.0
+
+
+def test_per_shard_state_is_refused_on_multi_shard_fleets():
+    fleet = two_shard_fleet()
+    for attribute in ("env", "tracer", "obs"):
+        with pytest.raises(ShardingError, match="per-shard"):
+            getattr(fleet, attribute)
+
+
+def test_run_lockstep_validates_its_inputs():
+    with pytest.raises(SimulationError, match="quantum"):
+        run_lockstep([VirtualRuntime()], 10.0, quantum=0.0)
+    with pytest.raises(SimulationError, match="at least one"):
+        run_lockstep([], 10.0)
+    runtime = VirtualRuntime()
+    runtime.run(until=5.0)
+    with pytest.raises(SimulationError, match="already at"):
+        run_lockstep([runtime], 1.0)
+
+
+def test_run_lockstep_tolerates_runtimes_ahead_of_the_floor():
+    ahead, behind = VirtualRuntime(), VirtualRuntime()
+    ahead.run(until=7.0)
+    assert run_lockstep([ahead, behind], 10.0, quantum=2.0) == 10.0
+    assert ahead.now == 10.0
+    assert behind.now == 10.0
+
+
+# ----------------------------------------------------------------------
+# Fleet-wide capacity accounting
+# ----------------------------------------------------------------------
+def test_shards_share_one_capacity_ledger_under_overload():
+    fleet = two_shard_fleet(
+        overload=True,
+        overload_policy=OverloadPolicy(capacity_horizon=100.0,
+                                       utilization_cap=1.0))
+    first = fleet.shards[0].overload.admission.capacity
+    second = fleet.shards[1].overload.admission.capacity
+    assert first is second
+    # The budget counts the whole fleet's devices, and a commit by one
+    # shard is visible to the other at the same window.
+    assert first.available(0.0) == 6 * 100.0
+    first.commit(0.0, 40.0)
+    assert second.available(0.0) == 600.0 - 40.0
+
+
+def test_capacity_ledger_windows_are_order_independent():
+    fleet = two_shard_fleet(
+        overload=True,
+        overload_policy=OverloadPolicy(capacity_horizon=10.0,
+                                       utilization_cap=1.0))
+    ledger = fleet.shards[0].overload.admission.capacity
+    # Shard clocks advance independently: a commit to window 1 must
+    # survive a read at window 0 by a slower shard.
+    ledger.commit(15.0, 5.0)
+    assert ledger.available(2.0) == 60.0       # window 0 untouched
+    assert ledger.available(15.0) == 60.0 - 5.0
+    ledger.commit(2.0, 10.0)
+    assert ledger.available(15.0) == 55.0      # window 1 unaffected
+    assert ledger.available(8.0) == 50.0
+
+
+def test_single_shard_fleet_keeps_per_engine_ledgers():
+    config = EngineConfig(shards=1, overload=True)
+    fleet = ShardedEngine(config=config, seed=0)
+    # No rewiring on the delegation path: byte-identity with a plain
+    # engine includes its private ledger.
+    plain = AortaEngine(config=EngineConfig(overload=True))
+    assert type(fleet.shards[0].overload.admission.capacity) \
+        is type(plain.overload.admission.capacity)
+
+
+# ----------------------------------------------------------------------
+# Aggregated reporting
+# ----------------------------------------------------------------------
+def test_fleet_statistics_aggregate_sum_max_and_width():
+    fleet = two_shard_fleet()
+    fleet.execute(FIGURE_1_AQ)
+    from repro import SensorStimulus
+    for index in range(2):
+        fleet.inject(f"mote{index:02d}",
+                     SensorStimulus("accel_x", start=2.0 + index,
+                                    duration=3.0, magnitude=850.0))
+    fleet.start()
+    fleet.run(until=30.0)
+    stats = fleet.statistics()
+    per_shard = fleet.shard_statistics()
+    assert stats["shards"] == 2
+    assert stats["devices"] == sum(s["devices"] for s in per_shard) == 6
+    assert stats["requests_serviced"] == sum(
+        s["requests_serviced"] for s in per_shard) == 2
+    assert stats["virtual_time"] == max(
+        s["virtual_time"] for s in per_shard) == 30.0
+    assert stats["queries"] == 2
+
+
+def test_device_report_is_the_disjoint_union():
+    fleet = two_shard_fleet()
+    report = fleet.device_report()
+    assert len(report) == 6
+    assert set(report) == {f"cam{i:02d}{side}" for i in range(2)
+                           for side in "ab"} \
+        | {"mote00", "mote01"}

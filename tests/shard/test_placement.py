@@ -1,0 +1,134 @@
+"""Property tests for device-to-shard placement policies.
+
+Placement is the routing keystone of the sharded fleet: admission,
+stimulus injection and request routing all key on it, so it must be a
+deterministic, total function of the device id alone — independent of
+process, admission order and the rest of the fleet.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShardingError
+from repro.shard import HashPlacement, PlacementPolicy, RegionPlacement
+
+device_ids = st.text(
+    alphabet=st.characters(codec="utf-8", categories=("L", "N", "P")),
+    min_size=1, max_size=32)
+shard_counts = st.integers(min_value=1, max_value=64)
+
+
+# ----------------------------------------------------------------------
+# HashPlacement
+# ----------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(device_id=device_ids, n_shards=shard_counts)
+def test_hash_placement_is_deterministic_and_total(device_id, n_shards):
+    # Two independently constructed policies agree, and the answer is
+    # always a valid shard index: every device is owned by exactly one
+    # shard of the fleet.
+    first = HashPlacement(n_shards)
+    second = HashPlacement(n_shards)
+    shard = first.shard_of(device_id)
+    assert 0 <= shard < n_shards
+    assert second.shard_of(device_id) == shard
+    assert first.shard_of(device_id) == shard  # repeat call, same answer
+
+
+@settings(max_examples=50, deadline=None)
+@given(ids=st.lists(device_ids, min_size=1, max_size=20, unique=True),
+       n_shards=shard_counts, seed=st.randoms())
+def test_hash_placement_is_stable_under_device_list_reordering(
+        ids, n_shards, seed):
+    # The assignment of one device must not depend on which other
+    # devices exist or the order they are placed in.
+    placement = HashPlacement(n_shards)
+    original = {device_id: placement.shard_of(device_id)
+                for device_id in ids}
+    shuffled = list(ids)
+    seed.shuffle(shuffled)
+    reordered = {device_id: HashPlacement(n_shards).shard_of(device_id)
+                 for device_id in shuffled}
+    assert reordered == original
+
+
+def test_hash_placement_single_shard_owns_everything():
+    placement = HashPlacement(1)
+    for device_id in ("cam1", "mote7", "phone-x", "a" * 64):
+        assert placement.shard_of(device_id) == 0
+
+
+def test_hash_placement_spreads_a_real_fleet():
+    # Not a distribution theorem — a pinned sanity check that a 1000
+    # camera fleet does not collapse onto a few of 8 shards.
+    placement = HashPlacement(8)
+    loads = [0] * 8
+    for index in range(1000):
+        loads[placement.shard_of(f"cam{index:04d}")] += 1
+    assert all(load > 0 for load in loads)
+    assert max(loads) < 2 * (1000 // 8)
+
+
+def test_hash_placement_rejects_empty_id_and_bad_counts():
+    with pytest.raises(ShardingError):
+        HashPlacement(8).shard_of("")
+    with pytest.raises(ShardingError):
+        HashPlacement(0)
+    with pytest.raises(ShardingError):
+        HashPlacement(-3)
+
+
+# ----------------------------------------------------------------------
+# RegionPlacement
+# ----------------------------------------------------------------------
+def test_region_placement_maps_sorted_regions_to_shard_indices():
+    placement = RegionPlacement.from_regions({
+        "west": ["cam3", "cam4"],
+        "east": ["cam1", "cam2"],
+    })
+    # Region names sort ("east" < "west") regardless of insertion order.
+    assert placement.n_shards == 2
+    assert placement.shard_of("cam1") == 0
+    assert placement.shard_of("cam2") == 0
+    assert placement.shard_of("cam3") == 1
+    assert placement.shard_of("cam4") == 1
+
+
+def test_region_placement_rejects_unknown_devices_with_clear_error():
+    placement = RegionPlacement.from_regions({"east": ["cam1"]})
+    with pytest.raises(ShardingError) as excinfo:
+        placement.shard_of("ghost9")
+    message = str(excinfo.value)
+    assert "ghost9" in message
+    assert "region" in message
+
+
+def test_region_placement_rejects_duplicates_and_bad_assignments():
+    with pytest.raises(ShardingError):
+        RegionPlacement.from_regions({"east": ["cam1"], "west": ["cam1"]})
+    with pytest.raises(ShardingError):
+        RegionPlacement(2, {"cam1": 2})
+    with pytest.raises(ShardingError):
+        RegionPlacement(2, {"cam1": -1})
+    with pytest.raises(ShardingError):
+        RegionPlacement.from_regions({})
+
+
+@settings(max_examples=50, deadline=None)
+@given(ids=st.lists(device_ids, min_size=1, max_size=12, unique=True),
+       n_shards=st.integers(min_value=1, max_value=8))
+def test_region_placement_round_trips_explicit_assignments(ids, n_shards):
+    assignments = {device_id: index % n_shards
+                   for index, device_id in enumerate(ids)}
+    placement = RegionPlacement(n_shards, assignments)
+    for device_id, shard in assignments.items():
+        assert placement.shard_of(device_id) == shard
+
+
+def test_both_policies_satisfy_the_placement_protocol():
+    assert isinstance(HashPlacement(4), PlacementPolicy)
+    assert isinstance(
+        RegionPlacement.from_regions({"east": ["cam1"]}), PlacementPolicy)

@@ -20,3 +20,11 @@ def test_demo_runs_to_completion(capsys):
     out = capsys.readouterr().out
     assert "Photo stored at photos/admin/" in out
     assert "request_serviced" in out
+
+
+def test_sharded_demo_services_one_photo_per_region(capsys):
+    assert main(["--demo", "--shards", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Fleet of 3 shards" in out
+    assert out.count("serviced") >= 4  # three per-shard lines + total
+    assert "Fleet total: 9 devices, 3 serviced" in out
