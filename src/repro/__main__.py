@@ -165,6 +165,23 @@ def _inject_demo_storm(engine: AortaEngine) -> None:
         make_request, start=1.0, duration=2.0, rate=10.0)
 
 
+def _print_query_listing(report: list[dict]) -> None:
+    """The query-catalog table: one line per registered AQ."""
+    print("registered queries:")
+    if not report:
+        print("  (none)")
+        return
+    header = (f"  {'name':<16} {'state':<9} {'events':>7} "
+              f"{'emitted':>8} {'rejected':>9} {'uncovered':>10}")
+    print(header)
+    for entry in report:
+        print(f"  {entry['name']:<16} {entry['state']:<9} "
+              f"{entry['events_detected']:>7} "
+              f"{entry['requests_emitted']:>8} "
+              f"{entry['requests_rejected']:>9} "
+              f"{entry['uncovered_events']:>10}")
+
+
 def run_demo(*, runtime: str = "virtual",
              time_scale: float = 1.0) -> int:
     """The Figure 1 snapshot query in one shot."""
@@ -175,14 +192,19 @@ def run_demo(*, runtime: str = "virtual",
     request = engine.completed_requests[0]
     print(f"\nPhoto stored at {request.result.pathname} "
           f"({request.completion_seconds:.2f}s after the event)")
+    print()
+    _print_query_listing(engine.query_report())
     return 0
 
 
-def run_sharded_metrics(shards: int, *, as_json: bool = False) -> int:
+def run_sharded_metrics(shards: int, *, as_json: bool = False,
+                        queries: bool = False) -> int:
     """Run the sharded demo with observability; print labeled metrics.
 
     Every series carries a ``shard=<i>`` label, so per-shard activity
-    stays distinguishable in the merged fleet snapshot.
+    stays distinguishable in the merged fleet snapshot. ``queries``
+    appends the fleet-wide query-catalog listing (per-shard counters
+    merged by query name).
     """
     fleet = _demo_fleet(shards, observability=True)
     snapshot = fleet.shard_labeled_metrics()
@@ -190,11 +212,15 @@ def run_sharded_metrics(shards: int, *, as_json: bool = False) -> int:
         print(metrics_to_json(snapshot))
     else:
         print(metrics_to_text(snapshot))
+        if queries:
+            print()
+            _print_query_listing(fleet.query_report())
     return 0
 
 
 def run_metrics(*, as_json: bool = False, spans: bool = False,
-                fastpath: bool = False, overload: bool = False) -> int:
+                fastpath: bool = False, overload: bool = False,
+                queries: bool = False) -> int:
     """Run the demo with observability on; export what it measured.
 
     With ``fastpath`` the comm fast path is enabled, so the snapshot
@@ -203,7 +229,9 @@ def run_metrics(*, as_json: bool = False, spans: bool = False,
     each (JSON output stays pure metrics). With ``overload`` the
     overload-control plane is enabled against an injected request
     storm, and the text form appends admitted/rejected/shed counts per
-    priority tier plus the peak pending-queue depth per operator.
+    priority tier plus the peak pending-queue depth per operator. With
+    ``queries`` the text form appends the query-catalog listing (name,
+    state, per-query event and request counters).
     """
     engine = _demo_engine(observability=True, fastpath=fastpath,
                           overload=overload)
@@ -212,6 +240,9 @@ def run_metrics(*, as_json: bool = False, spans: bool = False,
         print(metrics_to_json(snapshot))
     else:
         print(metrics_to_text(snapshot))
+        if queries:
+            print()
+            _print_query_listing(engine.query_report())
         if engine.pool is not None:
             pool = engine.pool.stats()
             print(f"\nconnection pool: {pool['hits']:.0f} hits / "
@@ -291,6 +322,10 @@ def main(argv: list[str] | None = None) -> int:
                               "inject a request storm, and report "
                               "per-tier admission/shedding counters "
                               "and peak queue depths")
+    metrics.add_argument("--queries", action="store_true",
+                         help="append the query-catalog listing: one "
+                              "line per registered AQ with its state "
+                              "and per-query event/request counters")
     metrics.add_argument("--shards", type=int, default=1,
                          help="run the sharded demo fleet and print "
                               "shard-labeled fleet metrics (default 1 "
@@ -301,10 +336,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "metrics":
         if args.shards > 1:
-            return run_sharded_metrics(args.shards, as_json=args.json)
+            return run_sharded_metrics(args.shards, as_json=args.json,
+                                       queries=args.queries)
         return run_metrics(as_json=args.json, spans=args.spans,
                            fastpath=args.fastpath,
-                           overload=args.overload)
+                           overload=args.overload,
+                           queries=args.queries)
     print(BANNER)
     if args.demo:
         if args.shards > 1:

@@ -3,16 +3,27 @@
 "Many pervasive computing applications have an event-driven and
 action-oriented processing nature: when the application detects an
 event, a pre-defined action on some type of devices is triggered."
-(Section 2.2) The executor polls the event tables' scan operators,
-evaluates each query's event predicate per device, and on detection
-evaluates the candidate predicate over the device table and submits an
-instantiated action request to the shared action operator.
+(Section 2.2) The executor polls the event tables' scan operators —
+one shared scan per table regardless of how many queries read it —
+and matches each scanned tuple against the registered queries.
+
+Two matching paths share one :class:`~repro.query.QueryCatalog` (query
+lifecycle, per-query stats, edge-trigger memory):
+
+* **scan-all** (default): every enabled query's event predicate is
+  evaluated against every scanned row — O(queries x devices) per poll.
+* **indexed** (``config.predicate_index``): each query's predicate is
+  compiled to a :class:`~repro.query.bands.BandForm` at registration
+  and filed in a per-table :class:`~repro.query.PredicateIndex`; each
+  scanned row is routed to exactly the queries whose bands admit it.
+  Matches are emitted query-major in registration order, so traces,
+  counters and request ids are byte-identical to the scan-all path
+  (golden-gated).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.errors import (
     AdmissionError,
@@ -25,44 +36,25 @@ from repro.comm.layer import CommunicationLayer
 from repro.comm.scan import ScanOperator
 from repro.comm.tuples import DeviceTuple
 from repro.plan.planner import ContinuousPlan
+from repro.query.ast import Expression
+from repro.query.bands import compile_event_predicate
 from repro.query.expressions import (
     LOCATION_PSEUDO_COLUMN,
     EvaluationContext,
     evaluate,
 )
 from repro.query.functions import FunctionRegistry
+from repro.query.predicate_index import PredicateIndex
+from repro.query.query_catalog import QueryCatalog, RegisteredQuery
 from repro.runtime import Runtime
 from repro.core.config import EngineConfig
 from repro.core.dispatcher import Dispatcher
 
+__all__ = ["ContinuousQueryExecutor", "RegisteredQuery"]
 
-@dataclass
-class RegisteredQuery:
-    """One live continuous query with its event-edge memory."""
-
-    plan: ContinuousPlan
-    enabled: bool = True
-    #: Per event-device: whether the predicate held at the last poll
-    #: (for edge-triggered event detection).
-    last_state: Dict[str, bool] = field(default_factory=dict)
-    events_detected: int = 0
-    requests_emitted: int = 0
-    #: Events whose candidate set was empty (e.g. no camera covers the
-    #: sensor's location) — nothing to schedule.
-    uncovered_events: int = 0
-    #: Priority tier stamped on every request this query emits (only
-    #: meaningful with overload control on; larger = more important).
-    priority: int = 1
-    #: Relative service deadline for emitted requests, in virtual
-    #: seconds from emission; ``None`` = no deadline.
-    deadline_seconds: Optional[float] = None
-    #: Requests refused by admission control or queue backpressure
-    #: (stays zero with overload control off).
-    requests_rejected: int = 0
-
-    @property
-    def name(self) -> str:
-        return self.plan.query_name
+#: Memo key of one candidate-set computation within a single poll:
+#: (device table, device alias, candidate predicate, event device).
+_CandidateKey = Tuple[str, str, Optional[Expression], str]
 
 
 class ContinuousQueryExecutor:
@@ -81,11 +73,11 @@ class ContinuousQueryExecutor:
         self.functions = functions
         self.dispatcher = dispatcher
         self.config = config
-        self.queries: Dict[str, RegisteredQuery] = {}
-        #: Event table -> queries reading it, maintained at
-        #: register/drop time so each poll walks an index instead of
-        #: rebuilding the table set from every registered query.
-        self._queries_by_table: Dict[str, List[RegisteredQuery]] = {}
+        #: Query lifecycle, per-table reader lists and edge memory.
+        self.catalog = QueryCatalog()
+        #: Per-event-table predicate indexes (only populated when
+        #: ``config.predicate_index`` is on).
+        self._indexes: Dict[str, PredicateIndex] = {}
         self._scans: Dict[str, ScanOperator] = {}
         self._running = False
         self.polls = 0
@@ -94,6 +86,16 @@ class ContinuousQueryExecutor:
     def obs(self):
         """The engine's observability sink (shared via the dispatcher)."""
         return self.dispatcher.obs
+
+    @property
+    def queries(self) -> Dict[str, RegisteredQuery]:
+        """Query name -> registered query (the catalog's live map)."""
+        return self.catalog.queries
+
+    @property
+    def _queries_by_table(self) -> Dict[str, List[RegisteredQuery]]:
+        """Event table -> reader list (the catalog's live index)."""
+        return self.catalog.by_table
 
     # ------------------------------------------------------------------
     # Registration
@@ -110,7 +112,7 @@ class ContinuousQueryExecutor:
         per-tier registration rate limit may refuse the AQ with
         :class:`~repro.errors.AdmissionError`.
         """
-        if plan.query_name in self.queries:
+        if plan.query_name in self.catalog:
             raise RegistrationError(
                 f"query {plan.query_name!r} is already registered"
             )
@@ -128,9 +130,16 @@ class ContinuousQueryExecutor:
                     f"{reason}")
         query = RegisteredQuery(plan=plan, priority=priority,
                                 deadline_seconds=deadline_seconds)
+        if self.config.predicate_index:
+            query.band_form = compile_event_predicate(
+                plan.event_predicate, plan.event_alias,
+                self.comm.catalog(plan.event_table))
         self.dispatcher.operator_for(plan.action).attach(plan.query_name)
-        self.queries[plan.query_name] = query
-        self._queries_by_table.setdefault(plan.event_table, []).append(query)
+        self.catalog.register(query)
+        if self.config.predicate_index:
+            assert query.band_form is not None
+            self._index_for(plan.event_table).add(
+                query.name, query.seq, plan.event_alias, query.band_form)
         self.dispatcher.tracer.record(
             self.env.now, "query_registered", query=plan.query_name,
             action=plan.action.name)
@@ -138,14 +147,20 @@ class ContinuousQueryExecutor:
 
     def drop(self, name: str) -> None:
         """Remove a query (the DROP AQ effect)."""
-        if name not in self.queries:
+        if name not in self.catalog:
             raise RegistrationError(f"no registered query {name!r}")
-        query = self.queries.pop(name)
-        readers = self._queries_by_table.get(query.plan.event_table, [])
-        if query in readers:
-            readers.remove(query)
-            if not readers:
-                del self._queries_by_table[query.plan.event_table]
+        query = self.catalog.drop(name)
+        table = query.plan.event_table
+        if table not in self.catalog.by_table:
+            # Last reader gone: retire the table's scan and index so an
+            # idle table stops polling (and costs nothing until a new
+            # reader registers).
+            self._scans.pop(table, None)
+            self._indexes.pop(table, None)
+        else:
+            index = self._indexes.get(table)
+            if index is not None:
+                index.remove(name)
         self.dispatcher.operator_for(query.plan.action).detach(name)
         self.dispatcher.tracer.record(self.env.now, "query_dropped",
                                       query=name)
@@ -171,6 +186,19 @@ class ContinuousQueryExecutor:
                     f"sensory attribute {ref.name!r}; device status is "
                     f"obtained by probing, not by candidate predicates"
                 )
+
+    def _index_for(self, table: str) -> PredicateIndex:
+        if table not in self._indexes:
+            self._indexes[table] = PredicateIndex(table)
+        return self._indexes[table]
+
+    def index_stats(self) -> Dict[str, int]:
+        """Summed per-table predicate-index counters."""
+        totals: Dict[str, int] = {"tables": len(self._indexes)}
+        for index in self._indexes.values():
+            for key, value in index.stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     # ------------------------------------------------------------------
     # The polling loop
@@ -200,17 +228,20 @@ class ContinuousQueryExecutor:
         # Detached: dispatch batches emitted by this poll outlive it on
         # concurrent processes, so they must not nest under the poll.
         with self.obs.span("continuous.poll", detached=True):
-            for table in list(self._queries_by_table):
+            for table in list(self.catalog.by_table):
                 if not any(q.enabled
-                           for q in self._queries_by_table.get(table, ())):
+                           for q in self.catalog.readers(table)):
                     continue
                 scan = self._scan_for(table)
                 rows = yield from scan.scan()
                 # Re-read the index after the scan: queries may have been
                 # registered or dropped while the acquisition was in flight.
-                for query in list(self._queries_by_table.get(table, ())):
-                    if query.enabled:
-                        emitted += self._detect_events(query, rows)
+                if self.config.predicate_index:
+                    emitted += self._detect_indexed(table, rows)
+                else:
+                    for query in list(self.catalog.readers(table)):
+                        if query.enabled:
+                            emitted += self._detect_events(query, rows)
         return emitted
 
     def _scan_for(self, table: str) -> ScanOperator:
@@ -219,7 +250,7 @@ class ContinuousQueryExecutor:
         return self._scans[table]
 
     # ------------------------------------------------------------------
-    # Event detection and request emission
+    # Event detection: the scan-all path
     # ------------------------------------------------------------------
     def _detect_events(self, query: RegisteredQuery,
                        rows: List[DeviceTuple]) -> int:
@@ -232,8 +263,8 @@ class ContinuousQueryExecutor:
             context.tuples[plan.event_alias] = row
             holds = (True if plan.event_predicate is None
                      else bool(evaluate(plan.event_predicate, context)))
-            previously = query.last_state.get(row.device_id, False)
-            query.last_state[row.device_id] = holds
+            previously = self.catalog.edge_state(query.name, row.device_id)
+            self.catalog.set_edge(query, row.device_id, holds)
             if not holds:
                 continue
             if self.config.edge_triggered and previously:
@@ -247,14 +278,100 @@ class ContinuousQueryExecutor:
                 emitted += 1
         return emitted
 
+    # ------------------------------------------------------------------
+    # Event detection: the indexed path
+    # ------------------------------------------------------------------
+    def _detect_indexed(self, table: str,
+                        rows: List[DeviceTuple]) -> int:
+        """Route each row through the table's predicate index.
+
+        Matching is event-at-a-time, but emission replays query-major
+        in registration order — the exact order the scan-all walk
+        produces — so traces and request ids stay identical.
+        """
+        index = self._indexes.get(table)
+        if index is None:
+            return 0
+        catalog = self.catalog
+
+        def admit(name: str) -> bool:
+            query = catalog.get(name)
+            return query is not None and query.enabled
+
+        matched: Dict[str, List[DeviceTuple]] = {}
+        seen: Set[str] = set()
+        for row in rows:
+            seen.add(row.device_id)
+
+            def test(alias: str, residual: Expression,
+                     row: DeviceTuple = row) -> bool:
+                context = EvaluationContext(tuples={alias: row},
+                                            functions=self.functions)
+                return bool(evaluate(residual, context))
+
+            for _seq, name in index.match(row, test, admit=admit):
+                matched.setdefault(name, []).append(row)
+
+        # Queries to visit: everyone matched this poll, plus everyone
+        # holding edge memory that a scanned non-match must clear.
+        active = {query.name: query
+                  for query in catalog.held_queries(table)}
+        for name in matched:
+            if name not in active:
+                query = catalog.get(name)
+                if query is not None:
+                    active[name] = query
+        ordered = sorted(active.values(), key=lambda query: query.seq)
+
+        emitted = 0
+        memo: Dict[_CandidateKey, List[str]] = {}
+        for query in ordered:
+            if not query.enabled:
+                continue
+            emitted += self._emit_matched(
+                query, matched.get(query.name, []), seen, memo)
+        return emitted
+
+    def _emit_matched(self, query: RegisteredQuery,
+                      matched_rows: List[DeviceTuple], seen: Set[str],
+                      memo: Dict[_CandidateKey, List[str]]) -> int:
+        """Replay one query's matches in row order; prune stale edges."""
+        plan = query.plan
+        emitted = 0
+        context = EvaluationContext(tuples={}, functions=self.functions)
+        matched_ids: Set[str] = set()
+        for row in matched_rows:
+            matched_ids.add(row.device_id)
+            previously = self.catalog.edge_state(query.name, row.device_id)
+            self.catalog.set_edge(query, row.device_id, True)
+            if self.config.edge_triggered and previously:
+                continue  # still the same event, no re-trigger
+            query.events_detected += 1
+            self.obs.inc("continuous.events_detected", query=query.name)
+            self.dispatcher.tracer.record(
+                self.env.now, "event_detected", query=query.name,
+                sensor=row.device_id)
+            context.tuples[plan.event_alias] = row
+            if self._emit_request(query, row, context, memo=memo):
+                emitted += 1
+        self.catalog.prune_edges(query, seen, matched_ids)
+        return emitted
+
+    # ------------------------------------------------------------------
+    # Request emission
+    # ------------------------------------------------------------------
     def _emit_request(self, query: RegisteredQuery, event_row: DeviceTuple,
-                      context: EvaluationContext) -> bool:
+                      context: EvaluationContext,
+                      memo: Optional[Dict[_CandidateKey,
+                                          List[str]]] = None) -> bool:
         plan = query.plan
         arguments = {
             name: evaluate(expression, context)
             for name, expression in plan.argument_expressions.items()
         }
-        candidates = self._candidates(plan, context)
+        candidates = self._candidates(plan, context,
+                                      event_device=event_row.device_id,
+                                      memo=memo)
         if not candidates:
             query.uncovered_events += 1
             self.obs.inc("continuous.uncovered_events",
@@ -307,14 +424,29 @@ class ContinuousQueryExecutor:
         return emitted_any
 
     def _candidates(self, plan: ContinuousPlan,
-                    event_context: EvaluationContext) -> List[str]:
+                    event_context: EvaluationContext, *,
+                    event_device: str = "",
+                    memo: Optional[Dict[_CandidateKey,
+                                        List[str]]] = None) -> List[str]:
         """Device IDs satisfying the candidate predicate for this event.
 
         Membership, not liveness, is checked here: devices "may join,
         move around, or leave the network dynamically in a way
         unpredictable to the system" (Section 4), so unavailability is
         discovered by the dispatcher's probe, not assumed here.
+
+        ``memo`` (indexed path only) caches the result per (device
+        table, alias, predicate, event device) within one detection
+        pass — queries sharing a candidate shape reuse one evaluation,
+        the shared-operator merge's candidate half.
         """
+        key: Optional[_CandidateKey] = None
+        if memo is not None:
+            key = (plan.device_table, plan.device_alias,
+                   plan.candidate_predicate, event_device)
+            cached = memo.get(key)
+            if cached is not None:
+                return list(cached)
         candidates = []
         for device in self.comm.registry.of_type(plan.device_table):
             if plan.candidate_predicate is None:
@@ -329,4 +461,6 @@ class ContinuousQueryExecutor:
             context = event_context.bind(plan.device_alias, device_row)
             if evaluate(plan.candidate_predicate, context):
                 candidates.append(device.device_id)
+        if memo is not None and key is not None:
+            memo[key] = list(candidates)
         return candidates

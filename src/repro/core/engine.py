@@ -453,6 +453,14 @@ class AortaEngine:
         """
         return self.obs.registry.snapshot()
 
+    def query_report(self) -> List[Dict[str, Any]]:
+        """Per-query catalog listing: name, state, per-query counters.
+
+        Registration order; backs ``python -m repro metrics --queries``
+        and the sharded coordinator's fleet-wide aggregation.
+        """
+        return self.continuous.catalog.report()
+
     def statistics(self) -> Dict[str, Any]:
         """A status snapshot for monitoring and tests.
 
@@ -495,6 +503,11 @@ class AortaEngine:
         if self.config.incremental:
             for key, value in self.dispatcher.incremental_stats.items():
                 stats[f"incremental_{key}"] = value
+        # Predicate-index keys appear only when the index is on, so
+        # index-off snapshots stay identical to scan-all ones.
+        if self.config.predicate_index:
+            for key, value in self.continuous.index_stats().items():
+                stats[f"predicate_index_{key}"] = value
         # Overload keys appear only when the plane is on, so
         # overload-off snapshots stay identical to pre-overload ones.
         if self.overload is not None:

@@ -31,14 +31,24 @@ from repro.query.ast import (
     Statement,
     TableRef,
 )
+from repro.query.bands import Band, BandForm, compile_event_predicate
 from repro.query.catalog import SchemaCatalog
-from repro.query.expressions import EvaluationContext, evaluate
+from repro.query.expressions import (
+    EvaluationContext,
+    compare_values,
+    evaluate,
+)
 from repro.query.functions import FunctionRegistry
 from repro.query.parser import parse, parse_expression
+from repro.query.predicate_index import AttributeIndex, PredicateIndex
+from repro.query.query_catalog import QueryCatalog, RegisteredQuery
 from repro.query.tokens import Token, TokenKind, tokenize
 
 __all__ = [
     "Arithmetic",
+    "AttributeIndex",
+    "Band",
+    "BandForm",
     "BooleanOp",
     "ColumnRef",
     "Comparison",
@@ -52,6 +62,9 @@ __all__ = [
     "Literal",
     "Negate",
     "Not",
+    "PredicateIndex",
+    "QueryCatalog",
+    "RegisteredQuery",
     "SchemaCatalog",
     "SelectQuery",
     "Star",
@@ -59,6 +72,8 @@ __all__ = [
     "TableRef",
     "Token",
     "TokenKind",
+    "compare_values",
+    "compile_event_predicate",
     "evaluate",
     "parse",
     "parse_expression",

@@ -72,6 +72,18 @@ def _resolve_column(ref: ColumnRef, context: EvaluationContext) -> Any:
 _NUMERIC = (int, float)
 
 
+def compare_values(op: str, left: Any, right: Any) -> bool:
+    """Compare two values with SQL comparison semantics.
+
+    The exact comparison the evaluator applies to ``left op right``:
+    ``=``/``<>`` are Python equality; ordering requires both sides
+    numeric or both strings and raises :class:`QueryError` otherwise.
+    Public so the predicate index's band checks share one definition
+    of comparison with the scan-all evaluator.
+    """
+    return _compare(op, left, right)
+
+
 def _compare(op: str, left: Any, right: Any) -> bool:
     if op in ("=", "<>"):
         equal = left == right

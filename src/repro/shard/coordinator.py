@@ -427,6 +427,35 @@ class ShardedEngine:
         """Each shard's own statistics dict, in shard order."""
         return [shard.statistics() for shard in self.shards]
 
+    def query_report(self) -> List[Dict[str, Any]]:
+        """Fleet-wide per-query catalog listing.
+
+        One shard returns the engine's own report. Multiple shards
+        merge per-shard reports by query name (AQ fan-out registers
+        every query on every shard): counters sum, a query is
+        ``enabled`` if any shard has it enabled, and descriptive fields
+        come from the first shard reporting the query. Order follows
+        shard 0's registration order, with queries seen only on later
+        shards appended in encounter order.
+        """
+        if self.n_shards == 1:
+            return self.shards[0].query_report()
+        merged: Dict[str, Dict[str, Any]] = {}
+        counter_keys = ("events_detected", "requests_emitted",
+                        "requests_rejected", "uncovered_events")
+        for shard in self.shards:
+            for entry in shard.query_report():
+                name = entry["name"]
+                fleet_entry = merged.get(name)
+                if fleet_entry is None:
+                    merged[name] = dict(entry)
+                    continue
+                for key in counter_keys:
+                    fleet_entry[key] += entry[key]
+                if entry["state"] == "enabled":
+                    fleet_entry["state"] = "enabled"
+        return list(merged.values())
+
     def metrics(self) -> Dict[str, Any]:
         """The fleet metric snapshot, merged without shard labels.
 

@@ -1,0 +1,119 @@
+"""Golden identity: the predicate index must not change behaviour.
+
+``predicate_index=True`` switches the continuous executor from the
+scan-all walk to indexed matching. Every scenario here runs twice —
+knob off and knob on — and the normalized engine dumps (full trace,
+statistics, serviced sets, metric snapshots) must be identical, across
+observability on/off, both runtime backends, and both fleet widths.
+The only tolerated difference is the ``predicate_index_*`` statistics
+block, which exists only when the knob is on and is stripped before
+diffing.
+"""
+
+import pytest
+
+from repro import EngineConfig
+
+from tests.core.conftest import FIGURE_1, build_lab
+from tests.obs.golden import diff_dumps, dump_engine
+from tests.obs.scenarios import (
+    continuous_outage_scenario,
+    snapshot_scenario,
+)
+from tests.shard.scenarios import (
+    region_fleet_scenario,
+    sharded_snapshot_scenario,
+)
+
+
+def normalized(engine):
+    dump = dump_engine(engine)
+    dump["statistics"] = {
+        key: value for key, value in dump["statistics"].items()
+        if not key.startswith("predicate_index_")
+    }
+    return dump
+
+
+def assert_identical(baseline, indexed):
+    differences = diff_dumps(normalized(baseline), normalized(indexed))
+    assert not differences, "\n".join(differences)
+
+
+@pytest.mark.parametrize("observability", [False, True])
+def test_snapshot_identity(observability):
+    assert_identical(
+        snapshot_scenario(observability),
+        snapshot_scenario(observability, predicate_index=True))
+
+
+@pytest.mark.parametrize("observability", [False, True])
+def test_continuous_outage_identity(observability):
+    assert_identical(
+        continuous_outage_scenario(observability),
+        continuous_outage_scenario(observability, predicate_index=True))
+
+
+def test_snapshot_identity_realtime_backend():
+    assert_identical(
+        snapshot_scenario(True, runtime="realtime", time_scale=0.0),
+        snapshot_scenario(True, runtime="realtime", time_scale=0.0,
+                          predicate_index=True))
+
+
+def test_continuous_outage_identity_realtime_backend():
+    assert_identical(
+        continuous_outage_scenario(True, runtime="realtime",
+                                   time_scale=0.0),
+        continuous_outage_scenario(True, runtime="realtime",
+                                   time_scale=0.0,
+                                   predicate_index=True))
+
+
+def test_single_shard_identity():
+    assert_identical(
+        sharded_snapshot_scenario(True),
+        sharded_snapshot_scenario(True, predicate_index=True))
+
+
+def test_four_shard_identity():
+    baseline = region_fleet_scenario(4, True)
+    indexed = region_fleet_scenario(4, True, predicate_index=True)
+    for base_shard, indexed_shard in zip(baseline.shards,
+                                         indexed.shards):
+        assert_identical(base_shard, indexed_shard)
+
+
+@pytest.mark.parametrize("indexed", [False, True])
+def test_idle_table_scan_and_index_retired(indexed):
+    """Dropping a table's last reader retires its scan and index."""
+    engine = build_lab(EngineConfig(predicate_index=indexed))
+    engine.execute(FIGURE_1)
+    engine.start()
+    engine.run(until=3.0)
+    continuous = engine.continuous
+    assert "sensor" in continuous._scans
+    assert ("sensor" in continuous._indexes) == indexed
+    engine.execute("DROP AQ snapshot")
+    assert "sensor" not in continuous._queries_by_table
+    assert "sensor" not in continuous._scans
+    assert "sensor" not in continuous._indexes
+
+
+def test_second_reader_keeps_the_scan_alive():
+    engine = build_lab(EngineConfig(predicate_index=True))
+    engine.execute(FIGURE_1)
+    engine.execute('''CREATE AQ hot AS
+        SELECT photo(c.ip, s.loc, "photos/hot")
+        FROM sensor s, camera c
+        WHERE s.temperature > 90 AND coverage(c.id, s.loc)''')
+    engine.start()
+    engine.run(until=3.0)
+    continuous = engine.continuous
+    engine.execute("DROP AQ snapshot")
+    assert "sensor" in continuous._scans
+    assert "sensor" in continuous._indexes
+    assert "snapshot" not in continuous._indexes["sensor"]
+    engine.execute("DROP AQ hot")
+    assert "sensor" not in continuous._scans
+    assert "sensor" not in continuous._indexes

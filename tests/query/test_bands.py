@@ -1,0 +1,177 @@
+"""Band-form compilation: predicates -> per-attribute bands + residual."""
+
+import pytest
+
+from repro.comm.tuples import DeviceTuple
+from repro.errors import QueryError
+from repro.profiles.defaults import sensor_catalog
+from repro.query import (
+    Band,
+    BandForm,
+    EvaluationContext,
+    FunctionRegistry,
+    compile_event_predicate,
+    evaluate,
+    parse_expression,
+)
+
+INF = float("inf")
+
+
+def compile_sql(text):
+    return compile_event_predicate(parse_expression(text), "s",
+                                   sensor_catalog())
+
+
+def row(**values):
+    defaults = {"id": "m1", "loc_x": 0.0, "loc_y": 0.0, "accel_x": 0.0,
+                "accel_y": 0.0, "temperature": 20.0, "light": 100.0,
+                "battery": 50.0}
+    defaults.update(values)
+    return DeviceTuple(device_type="sensor", device_id="m1",
+                       values=defaults)
+
+
+def context_for(tuple_row):
+    return EvaluationContext(tuples={"s": tuple_row},
+                             functions=FunctionRegistry())
+
+
+class TestCompile:
+    def test_interval_conjunction_is_one_band(self):
+        form = compile_sql(
+            "s.temperature >= 10 AND s.temperature < 20")
+        assert form.residual is None
+        assert form.bands == (Band("temperature", low=10.0, high=20.0,
+                                   low_strict=False, high_strict=True),)
+
+    def test_literal_on_the_left_flips(self):
+        form = compile_sql("5 < s.temperature")
+        (band,) = form.bands
+        assert (band.low, band.low_strict, band.high) == (5.0, True, INF)
+
+    def test_equality_becomes_point_band(self):
+        form = compile_sql('s.id = "m7"')
+        assert form.bands == (Band("id", point="m7", has_point=True),)
+        assert form.residual is None
+
+    def test_open_ended_range(self):
+        form = compile_sql("s.battery > 1")
+        (band,) = form.bands
+        assert (band.low, band.low_strict, band.high) == (1.0, True, INF)
+
+    def test_string_ordering_stays_residual(self):
+        form = compile_sql('s.id > "a"')
+        assert form.bands == ()
+        assert form.residual is not None
+
+    def test_residual_preserves_non_band_conjuncts(self):
+        form = compile_sql(
+            "s.temperature > 10 AND (s.accel_x > 1 OR s.accel_y > 1)")
+        assert len(form.bands) == 1
+        assert form.residual is not None
+        sample = row(temperature=20.0, accel_x=5.0)
+        assert evaluate(form.residual, context_for(sample)) is True
+
+    def test_contradictory_intersection_is_unsatisfiable(self):
+        form = compile_sql("s.temperature > 5 AND s.temperature < 3")
+        assert form.unsatisfiable
+        assert not form.matches(row(temperature=4.0),
+                                context_for(row(temperature=4.0)))
+
+    def test_point_inside_interval_keeps_the_point(self):
+        form = compile_sql("s.temperature = 15 AND s.temperature > 10")
+        assert form.bands == (Band("temperature", point=15,
+                                   has_point=True),)
+
+    def test_point_outside_interval_is_unsatisfiable(self):
+        form = compile_sql("s.temperature = 5 AND s.temperature > 10")
+        assert form.unsatisfiable
+
+    def test_not_equal_stays_residual(self):
+        form = compile_sql("s.temperature <> 5")
+        assert form.bands == ()
+        assert form.residual is not None
+
+    def test_loc_pseudo_column_stays_residual(self):
+        form = compile_sql("s.loc = 3")
+        assert form.bands == ()
+        assert form.residual is not None
+
+    def test_foreign_qualifier_stays_residual(self):
+        form = compile_sql('c.ip = "10.0.0.1"')
+        assert form.bands == ()
+        assert form.residual is not None
+
+    def test_unqualified_reference_bands(self):
+        form = compile_sql("temperature > 7")
+        (band,) = form.bands
+        assert band.attribute == "temperature"
+
+    def test_none_predicate_matches_everything(self):
+        form = compile_event_predicate(None, "s", sensor_catalog())
+        assert form == BandForm()
+        sample = row()
+        assert form.matches(sample, context_for(sample))
+
+
+class TestBand:
+    def test_admits_respects_strictness(self):
+        band = Band("temperature", low=10.0, high=20.0, low_strict=True)
+        assert not band.admits(10.0)
+        assert band.admits(10.5)
+        assert band.admits(20.0)
+        assert not band.admits(20.5)
+
+    def test_point_band_equality_semantics(self):
+        band = Band("light", point=1, has_point=True)
+        assert band.admits(1.0)  # same as the evaluator's "="
+        assert not band.admits(2)
+
+    def test_admits_type_mismatch_raises_like_the_evaluator(self):
+        band = Band("temperature", low=10.0)
+        with pytest.raises(QueryError):
+            band.admits("hot")
+
+    def test_interval_intersection_tightens_both_ends(self):
+        merged = Band("x", low=1.0, high=9.0).intersect(
+            Band("x", low=3.0, high=12.0, low_strict=True))
+        assert merged == Band("x", low=3.0, high=9.0, low_strict=True)
+
+    def test_empty_intersection_is_none(self):
+        assert Band("x", low=5.0).intersect(Band("x", high=3.0)) is None
+        assert Band("x", low=5.0, low_strict=True).intersect(
+            Band("x", high=5.0)) is None
+
+    def test_non_numeric_point_against_interval_is_empty(self):
+        point = Band("x", point="hot", has_point=True)
+        assert point.intersect(Band("x", low=1.0)) is None
+
+
+class TestMatchesEquivalence:
+    """BandForm.matches is the predicate, exactly."""
+
+    CASES = [
+        "s.temperature >= 10 AND s.temperature < 20",
+        "s.temperature > 10 AND s.light = 100 AND s.battery <= 60",
+        's.id = "m1" AND s.temperature < 25',
+        "s.accel_x > 1 OR s.accel_y > 1",
+        "s.temperature > 10 AND (s.accel_x > 1 OR s.light = 100)",
+    ]
+
+    ROWS = [
+        {"temperature": 15.0, "light": 100.0, "battery": 50.0},
+        {"temperature": 10.0, "light": 99.0, "battery": 60.0},
+        {"temperature": 30.0, "accel_x": 2.0},
+        {"accel_y": 3.0, "light": 100.0},
+    ]
+
+    @pytest.mark.parametrize("sql", CASES)
+    @pytest.mark.parametrize("values", ROWS)
+    def test_matches_agrees_with_evaluate(self, sql, values):
+        predicate = parse_expression(sql)
+        form = compile_event_predicate(predicate, "s", sensor_catalog())
+        sample = row(**values)
+        context = context_for(sample)
+        assert form.matches(sample, context) == bool(
+            evaluate(predicate, context))
