@@ -11,7 +11,7 @@ through :class:`~repro.shard.ShardedEngine` at two widths:
   executor sees only its own mote and cameras, so the same event costs
   1/R of the candidate work.
 
-Three gates, written to ``BENCH_sharding.json``:
+The gates, written to ``BENCH_sharding.json``:
 
 * **throughput_scaling** — serviced throughput (requests serviced per
   wall-clock second of ``run()``) at 8 shards is >= 3x the 1-shard
@@ -24,11 +24,23 @@ Three gates, written to ``BENCH_sharding.json``:
   unsharded engine's (the coordinator's delegation path is inert).
 * **deterministic** — two identical sharded storm runs produce
   byte-identical per-shard dumps.
+* **parallel_identity** — the parallel fleet's per-shard dumps are
+  byte-identical to the serial lockstep run's at the same width.
+* **parallel_deterministic** — two identical parallel runs produce
+  byte-identical per-shard dumps.
+* **parallel_wallclock_speedup** — ``run()`` wall-clock with process
+  workers is >= 2x faster than serial lockstep at the same width.
+  Only gated on full runs on hosts with >= 4 CPU cores (true
+  parallelism needs cores; the ratio is always measured and
+  recorded, with per-shard busy/barrier-wait breakdowns).
+
+The parallel section always runs on full runs; ``--smoke`` includes it
+only with ``--parallel`` (the CI parallel-smoke leg).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_sharding.py \
-        [--smoke] [--shards N]
+        [--smoke] [--shards N] [--parallel] [--parallel-backend B]
 """
 
 from __future__ import annotations
@@ -46,6 +58,7 @@ sys.path.insert(0, os.path.dirname(__file__))
 from _common import format_table, record, write_result  # noqa: E402
 
 from repro import (  # noqa: E402
+    DeviceSpec,
     EngineConfig,
     PanTiltZoomCamera,
     Point,
@@ -54,6 +67,7 @@ from repro import (  # noqa: E402
     SensorStimulus,
     ShardedEngine,
 )
+from repro.core.config import PARALLEL_BACKENDS  # noqa: E402
 
 from tests.obs.golden import diff_dumps, dump_engine  # noqa: E402
 from tests.obs.scenarios import snapshot_scenario  # noqa: E402
@@ -75,6 +89,15 @@ SMOKE_EVENTS_PER_REGION = 2
 #: Required serviced-throughput ratio, 8 shards vs 1, full runs.
 TARGET_SCALING = 3.0
 
+#: Required run() wall-clock ratio, serial lockstep vs process-worker
+#: parallel, at the sharded width on the full storm.
+TARGET_PARALLEL_SPEEDUP = 2.0
+
+#: Cores below which the speedup gate is recorded but not enforced:
+#: process workers cannot beat serial lockstep without hardware
+#: parallelism (identity and determinism are gated regardless).
+MIN_SPEEDUP_CORES = 4
+
 #: Storm cadence: events inside a region are EVENT_PERIOD apart;
 #: regions are staggered by REGION_STAGGER so the fleet sees a rolling
 #: storm rather than R simultaneous detections.
@@ -89,15 +112,18 @@ BAND_AQ = '''CREATE AQ band_storm AS
     WHERE s.accel_x > 500 AND coverage(c.id, s.loc)'''
 
 
-def build_fleet(shards: int, n_regions: int,
-                cameras_per_region: int) -> ShardedEngine:
+def build_fleet(shards: int, n_regions: int, cameras_per_region: int,
+                *, parallel: bool = False,
+                backend: str = "process") -> ShardedEngine:
     """The storm fleet: identical devices regardless of the width.
 
     Cameras have effectively unbounded range, so in the 1-shard engine
     every camera covers every mote and each request carries the whole
     fleet as candidates; per-region shards carry only their own
     cameras. Region r maps to shard ``r % shards`` — the same region
-    layout collapses onto one shard for the baseline.
+    layout collapses onto one shard for the baseline. Factories are
+    :class:`~repro.DeviceSpec` values, so the identical builder drives
+    serial fleets and parallel worker fleets.
     """
     assignments = {}
     for region in range(n_regions):
@@ -105,31 +131,31 @@ def build_fleet(shards: int, n_regions: int,
             assignments[f"cam{region:02d}_{k:04d}"] = region % shards
         assignments[f"mote{region:02d}"] = region % shards
     placement = RegionPlacement(shards, assignments)
-    config = EngineConfig(shards=shards, probing=False)
+    config = EngineConfig(shards=shards, probing=False,
+                          parallel=parallel, parallel_backend=backend)
     fleet = ShardedEngine(config=config, placement=placement, seed=0)
     for region in range(n_regions):
         base = 100.0 * region
         for k in range(cameras_per_region):
             fleet.add_device(
                 f"cam{region:02d}_{k:04d}",
-                lambda env, region=region, k=k, base=base:
-                PanTiltZoomCamera(
-                    env, f"cam{region:02d}_{k:04d}",
-                    Point(base + 0.01 * k, 0.0), facing=0.0,
-                    view_half_angle=170.0, view_range=1e9))
+                DeviceSpec(PanTiltZoomCamera, f"cam{region:02d}_{k:04d}",
+                           Point(base + 0.01 * k, 0.0), facing=0.0,
+                           view_half_angle=170.0, view_range=1e9))
         fleet.add_device(
             f"mote{region:02d}",
-            lambda env, region=region, base=base: SensorMote(
-                env, f"mote{region:02d}", Point(base + 5.0, 3.0),
-                noise_amplitude=0.0))
+            DeviceSpec(SensorMote, f"mote{region:02d}",
+                       Point(base + 5.0, 3.0), noise_amplitude=0.0))
     fleet.execute(BAND_AQ)
     return fleet
 
 
 def run_storm(shards: int, n_regions: int, cameras_per_region: int,
-              events_per_region: int) -> dict:
+              events_per_region: int, *, parallel: bool = False,
+              backend: str = "process") -> dict:
     """One full storm at the given width; wall-clock covers run()."""
-    fleet = build_fleet(shards, n_regions, cameras_per_region)
+    fleet = build_fleet(shards, n_regions, cameras_per_region,
+                        parallel=parallel, backend=backend)
     for region in range(n_regions):
         for event in range(events_per_region):
             fleet.inject(
@@ -146,16 +172,22 @@ def run_storm(shards: int, n_regions: int, cameras_per_region: int,
     wall_s = time.perf_counter() - started
     stats = fleet.statistics()
     serviced = stats["requests_serviced"]
-    return {
+    result = {
         "shards": shards,
+        "parallel": parallel,
         "devices": stats["devices"],
         "serviced": serviced,
         "wall_s": round(wall_s, 4),
         "throughput_per_s": round(serviced / wall_s, 4) if wall_s > 0
         else float("inf"),
-        "dumps": [json.dumps(dump_engine(shard), sort_keys=True)
-                  for shard in fleet.shards],
+        "dumps": [json.dumps(dump, sort_keys=True)
+                  for dump in fleet.shard_dumps()],
     }
+    if parallel:
+        result["backend"] = backend
+        result["rounds"] = fleet.round_breakdown()
+    fleet.close()
+    return result
 
 
 def check_single_shard_identity() -> dict:
@@ -173,6 +205,12 @@ def main(argv=None) -> int:
                         help="small fleet; scaling measured, not gated")
     parser.add_argument("--shards", type=int, default=FULL_SHARDS,
                         help="sharded width of the storm (default 8)")
+    parser.add_argument("--parallel", action="store_true",
+                        help="include the parallel-worker section in "
+                             "--smoke (full runs always include it)")
+    parser.add_argument("--parallel-backend", choices=PARALLEL_BACKENDS,
+                        default="process",
+                        help="worker backend for the parallel section")
     args = parser.parse_args(argv)
     if args.shards < 2:
         parser.error("--shards must be >= 2 (the baseline is 1)")
@@ -196,6 +234,45 @@ def main(argv=None) -> int:
     repeat = run_storm(args.shards, n_regions, cameras_per_region, events)
 
     deterministic = sharded["dumps"] == repeat["dumps"]
+
+    parallel_section = None
+    if args.parallel or not args.smoke:
+        backend = args.parallel_backend
+        print(f"running {label}, shards={args.shards} "
+              f"({backend} workers, run 1) ...", flush=True)
+        par = run_storm(args.shards, n_regions, cameras_per_region,
+                        events, parallel=True, backend=backend)
+        print(f"running {label}, shards={args.shards} "
+              f"({backend} workers, run 2) ...", flush=True)
+        par_repeat = run_storm(args.shards, n_regions,
+                               cameras_per_region, events,
+                               parallel=True, backend=backend)
+        cores = os.cpu_count() or 1
+        speedup = (sharded["wall_s"] / par["wall_s"]
+                   if par["wall_s"] else float("inf"))
+        speedup_gated = not args.smoke and cores >= MIN_SPEEDUP_CORES
+        parallel_section = {
+            "backend": backend,
+            "identical_to_serial": par["dumps"] == sharded["dumps"],
+            "deterministic": par["dumps"] == par_repeat["dumps"],
+            "serial_wall_s": sharded["wall_s"],
+            "parallel_wall_s": par["wall_s"],
+            "wallclock_speedup": round(speedup, 3),
+            "target_speedup": TARGET_PARALLEL_SPEEDUP,
+            "cores": cores,
+            "speedup_gated": speedup_gated,
+            "speedup_gate_skipped_because": None if speedup_gated else (
+                "smoke run" if args.smoke else
+                f"host has {cores} core(s) < {MIN_SPEEDUP_CORES}; "
+                f"process workers cannot beat serial without hardware "
+                f"parallelism"),
+            "rounds": par["rounds"],
+            "run": par,
+        }
+        par.pop("dumps")
+        par.pop("rounds")
+        del par_repeat
+
     for run in (single, sharded, repeat):
         run.pop("dumps")
     scaling = (sharded["throughput_per_s"] / single["throughput_per_s"]
@@ -211,6 +288,17 @@ def main(argv=None) -> int:
         # The scaling gate needs the full-size fleet: at smoke scale
         # fixed simulation overhead drowns the candidate-set savings.
         gates["throughput_scaling"] = scaling >= TARGET_SCALING
+    if parallel_section is not None:
+        # Identity and determinism hold on any hardware; the wall-clock
+        # speedup additionally needs cores and the full-size storm.
+        gates["parallel_identity"] = \
+            parallel_section["identical_to_serial"]
+        gates["parallel_deterministic"] = \
+            parallel_section["deterministic"]
+        if parallel_section["speedup_gated"]:
+            gates["parallel_wallclock_speedup"] = \
+                parallel_section["wallclock_speedup"] \
+                >= TARGET_PARALLEL_SPEEDUP
 
     payload = {
         "benchmark": "bench_sharding",
@@ -230,17 +318,42 @@ def main(argv=None) -> int:
         },
         "single_shard_identity": identity,
         "deterministic": deterministic,
+        "parallel": parallel_section,
     }
     exit_code = write_result(JSON_PATH, payload, gates)
 
     verdict = "PASS" if exit_code == 0 else "FAIL"
+    rows = [
+        (f"shards=1", single["devices"], single["serviced"],
+         single["wall_s"], single["throughput_per_s"]),
+        (f"shards={args.shards}", sharded["devices"],
+         sharded["serviced"], sharded["wall_s"],
+         sharded["throughput_per_s"]),
+    ]
+    parallel_lines = ""
+    if parallel_section is not None:
+        par = parallel_section["run"]
+        rows.append((
+            f"shards={args.shards}/{parallel_section['backend']}",
+            par["devices"], par["serviced"], par["wall_s"],
+            par["throughput_per_s"]))
+        waits = ", ".join(
+            f"s{entry['shard']}={entry['barrier_wait_s']:.2f}s"
+            for entry in parallel_section["rounds"]["per_shard"])
+        parallel_lines = (
+            f"parallel identical to serial: "
+            f"{parallel_section['identical_to_serial']}; deterministic: "
+            f"{parallel_section['deterministic']}\n"
+            f"parallel wall-clock speedup: "
+            f"{parallel_section['wallclock_speedup']:.2f}x (target "
+            f"{TARGET_PARALLEL_SPEEDUP:.0f}x"
+            + (")" if parallel_section["speedup_gated"] else
+               f", not gated: "
+               f"{parallel_section['speedup_gate_skipped_because']})")
+            + f"\nbarrier waits over "
+              f"{parallel_section['rounds']['rounds']} rounds: {waits}\n")
     table = format_table(
-        ("width", "devices", "serviced", "wall s", "req/s"),
-        [(f"shards=1", single["devices"], single["serviced"],
-          single["wall_s"], single["throughput_per_s"]),
-         (f"shards={args.shards}", sharded["devices"],
-          sharded["serviced"], sharded["wall_s"],
-          sharded["throughput_per_s"])])
+        ("width", "devices", "serviced", "wall s", "req/s"), rows)
     body = (
         f"{table}\n"
         f"scaling: {scaling:.2f}x (target {TARGET_SCALING:.0f}x"
@@ -248,6 +361,7 @@ def main(argv=None) -> int:
         f"1-shard delegation identical to plain engine: "
         f"{identity['identical']}\n"
         f"deterministic repeat: {deterministic}\n"
+        f"{parallel_lines}"
         f"verdict: {verdict}\n"
         f"JSON: {os.path.relpath(JSON_PATH)}")
     record("sharding", "Sharded coordinator: band-storm scaling", body)

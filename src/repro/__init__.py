@@ -42,7 +42,12 @@ from repro.runtime import (
     VirtualRuntime,
     create_runtime,
 )
-from repro.shard import HashPlacement, RegionPlacement, ShardedEngine
+from repro.shard import (
+    DeviceSpec,
+    HashPlacement,
+    RegionPlacement,
+    ShardedEngine,
+)
 from repro.sim import Environment
 
 __version__ = "1.0.0"
@@ -50,6 +55,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AortaEngine",
     "DeviceHealthTracker",
+    "DeviceSpec",
     "EngineConfig",
     "Environment",
     "HashPlacement",

@@ -14,6 +14,7 @@ import sys
 import repro
 from repro import (
     AortaEngine,
+    DeviceSpec,
     EngineConfig,
     PanTiltZoomCamera,
     Point,
@@ -22,6 +23,7 @@ from repro import (
     SensorStimulus,
     ShardedEngine,
 )
+from repro.core.config import PARALLEL_BACKENDS
 from repro.obs import metrics_to_json, metrics_to_text, span_tree_text
 from repro.runtime import RUNTIME_NAMES
 
@@ -83,13 +85,17 @@ def _demo_engine(*, observability: bool = False,
 
 
 def _demo_fleet(shards: int, *,
-                observability: bool = False) -> ShardedEngine:
+                observability: bool = False,
+                parallel: bool = False,
+                parallel_backend: str = "process") -> ShardedEngine:
     """The Figure 1 scenario replicated across ``shards`` regions.
 
     Each region (= shard, via explicit region placement) gets the
     paper's two ceiling cameras and one sensor mote; every region's
     mote fires at a staggered time so each shard services one photo of
-    its own. Built and run, like :func:`_demo_engine`.
+    its own. Built and run, like :func:`_demo_engine`. Device factories
+    are :class:`~repro.DeviceSpec` values so ``parallel=True`` can
+    replay them inside worker processes.
     """
     regions = {
         f"region{index:02d}": [f"cam{index:02d}a", f"cam{index:02d}b",
@@ -97,20 +103,20 @@ def _demo_fleet(shards: int, *,
         for index in range(shards)
     }
     fleet = ShardedEngine(
-        config=EngineConfig(observability=observability, shards=shards),
+        config=EngineConfig(observability=observability, shards=shards,
+                            parallel=parallel,
+                            parallel_backend=parallel_backend),
         placement=RegionPlacement.from_regions(regions), seed=0)
     for index in range(shards):
         tag = f"{index:02d}"
-        fleet.add_device(f"cam{tag}a", lambda env, tag=tag, index=index:
-                         PanTiltZoomCamera(env, f"cam{tag}a", Point(0, 0),
-                                           ip_address=f"10.0.{index}.1"))
-        fleet.add_device(f"cam{tag}b", lambda env, tag=tag, index=index:
-                         PanTiltZoomCamera(env, f"cam{tag}b", Point(20, 0),
-                                           facing=180.0,
-                                           ip_address=f"10.0.{index}.2"))
-        fleet.add_device(f"mote{tag}", lambda env, tag=tag:
-                         SensorMote(env, f"mote{tag}", Point(5, 3),
-                                    noise_amplitude=0.0))
+        fleet.add_device(f"cam{tag}a", DeviceSpec(
+            PanTiltZoomCamera, f"cam{tag}a", Point(0, 0),
+            ip_address=f"10.0.{index}.1"))
+        fleet.add_device(f"cam{tag}b", DeviceSpec(
+            PanTiltZoomCamera, f"cam{tag}b", Point(20, 0),
+            facing=180.0, ip_address=f"10.0.{index}.2"))
+        fleet.add_device(f"mote{tag}", DeviceSpec(
+            SensorMote, f"mote{tag}", Point(5, 3), noise_amplitude=0.0))
     fleet.execute(DEMO_AQ)
     for index in range(shards):
         fleet.inject(f"mote{index:02d}",
@@ -121,13 +127,16 @@ def _demo_fleet(shards: int, *,
     return fleet
 
 
-def run_sharded_demo(shards: int) -> int:
+def run_sharded_demo(shards: int, *, parallel: bool = False,
+                     parallel_backend: str = "process") -> int:
     """The Figure 1 scenario fanned out across ``shards`` regions."""
-    fleet = _demo_fleet(shards)
+    fleet = _demo_fleet(shards, parallel=parallel,
+                        parallel_backend=parallel_backend)
+    mode = (f"{parallel_backend} workers" if fleet.parallel
+            else "serial lockstep")
     print(f"Fleet of {fleet.n_shards} shards "
-          f"(region placement, one region per shard)")
-    for index, shard in enumerate(fleet.shards):
-        stats = shard.statistics()
+          f"(region placement, one region per shard, {mode})")
+    for index, stats in enumerate(fleet.shard_statistics()):
         print(f"  shard {index}: {stats['devices']} devices, "
               f"{stats['requests_serviced']} serviced")
     stats = fleet.statistics()
@@ -137,6 +146,14 @@ def run_sharded_demo(shards: int) -> int:
     for request in fleet.completed_requests:
         print(f"  {request.request_id}: {request.result.pathname} "
               f"({request.completion_seconds:.2f}s after the event)")
+    breakdown = fleet.round_breakdown()
+    if breakdown is not None:
+        waits = ", ".join(
+            f"s{entry['shard']}={entry['barrier_wait_s']:.2f}s"
+            for entry in breakdown["per_shard"])
+        print(f"{breakdown['rounds']} lockstep rounds in "
+              f"{breakdown['wall_s']:.2f}s wall; barrier waits: {waits}")
+    fleet.close()
     return 0
 
 
@@ -198,15 +215,19 @@ def run_demo(*, runtime: str = "virtual",
 
 
 def run_sharded_metrics(shards: int, *, as_json: bool = False,
-                        queries: bool = False) -> int:
+                        queries: bool = False,
+                        parallel: bool = False,
+                        parallel_backend: str = "process") -> int:
     """Run the sharded demo with observability; print labeled metrics.
 
     Every series carries a ``shard=<i>`` label, so per-shard activity
-    stays distinguishable in the merged fleet snapshot. ``queries``
-    appends the fleet-wide query-catalog listing (per-shard counters
-    merged by query name).
+    stays distinguishable in the merged fleet snapshot (a parallel
+    fleet additionally reports its ``shard.round.*`` wall-clock
+    series). ``queries`` appends the fleet-wide query-catalog listing
+    (per-shard counters merged by query name).
     """
-    fleet = _demo_fleet(shards, observability=True)
+    fleet = _demo_fleet(shards, observability=True, parallel=parallel,
+                        parallel_backend=parallel_backend)
     snapshot = fleet.shard_labeled_metrics()
     if as_json:
         print(metrics_to_json(snapshot))
@@ -215,6 +236,7 @@ def run_sharded_metrics(shards: int, *, as_json: bool = False,
         if queries:
             print()
             _print_query_listing(fleet.query_report())
+    fleet.close()
     return 0
 
 
@@ -301,6 +323,15 @@ def main(argv: list[str] | None = None) -> int:
                              "shards (region placement, one Figure 1 "
                              "region per shard; default 1 = the plain "
                              "engine)")
+    parser.add_argument("--parallel", action="store_true",
+                        help="run each demo shard in its own worker "
+                             "(true parallel lockstep; needs "
+                             "--shards >= 2)")
+    parser.add_argument("--parallel-backend", choices=PARALLEL_BACKENDS,
+                        default="process",
+                        help="worker backend for --parallel: process "
+                             "(spawned interpreters) or thread "
+                             "(portable fallback)")
     parser.add_argument("--version", action="store_true",
                         help="print the version and exit")
     subcommands = parser.add_subparsers(dest="command")
@@ -330,14 +361,22 @@ def main(argv: list[str] | None = None) -> int:
                          help="run the sharded demo fleet and print "
                               "shard-labeled fleet metrics (default 1 "
                               "= the plain engine snapshot)")
+    metrics.add_argument("--parallel", action="store_true",
+                         help="run the sharded metrics demo with "
+                              "parallel workers (needs --shards >= 2)")
+    metrics.add_argument("--parallel-backend",
+                         choices=PARALLEL_BACKENDS, default="process",
+                         help="worker backend for --parallel")
     args = parser.parse_args(argv)
     if args.version:
         print(repro.__version__)
         return 0
     if args.command == "metrics":
         if args.shards > 1:
-            return run_sharded_metrics(args.shards, as_json=args.json,
-                                       queries=args.queries)
+            return run_sharded_metrics(
+                args.shards, as_json=args.json, queries=args.queries,
+                parallel=args.parallel,
+                parallel_backend=args.parallel_backend)
         return run_metrics(as_json=args.json, spans=args.spans,
                            fastpath=args.fastpath,
                            overload=args.overload,
@@ -345,7 +384,9 @@ def main(argv: list[str] | None = None) -> int:
     print(BANNER)
     if args.demo:
         if args.shards > 1:
-            return run_sharded_demo(args.shards)
+            return run_sharded_demo(
+                args.shards, parallel=args.parallel,
+                parallel_backend=args.parallel_backend)
         return run_demo(runtime=args.runtime, time_scale=args.time_scale)
     print("Run with --demo for the Figure 1 scenario, or see examples/.")
     return 0

@@ -20,6 +20,13 @@ SCHEDULER_NAMES = ("LERFA+SRFE", "SRFAE", "LS", "SA", "RANDOM")
 #: without the runtime package).
 RUNTIME_NAMES = ("virtual", "realtime")
 
+#: Worker backends accepted by EngineConfig.parallel_backend:
+#: "process" spawns one interpreter per shard (true parallelism),
+#: "thread" runs workers as threads of the coordinator process (the
+#: portable fallback: identical protocol and determinism, no
+#: GIL-escaping speedup).
+PARALLEL_BACKENDS = ("process", "thread")
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -185,6 +192,20 @@ class EngineConfig:
     #: the slowest by more than this many runtime seconds. Ignored when
     #: ``shards == 1`` (a single shard runs in one uninterrupted call).
     shard_quantum: float = 1.0
+    #: True parallel shard execution: run each shard's lockstep round
+    #: concurrently in its own worker instead of stepping shards
+    #: sequentially on the coordinator thread. Only
+    #: :class:`~repro.shard.ShardedEngine` honours it, and only with
+    #: ``shards > 1`` (a 1-shard fleet stays the in-process
+    #: pass-through). Off by default: the off path is byte-identical
+    #: to the serial lockstep coordinator (benchmark-gated).
+    parallel: bool = False
+    #: Worker backend for ``parallel=True``: "process" (spawned
+    #: interpreters — the wall-clock speedup path) or "thread" (same
+    #: command protocol inside the coordinator process — portable, no
+    #: speedup). Both replay identical construction commands, so dumps
+    #: are byte-identical across backends.
+    parallel_backend: str = "process"
     #: Predicate-indexed multi-query matching: compile each AQ's event
     #: predicate into a normalized band form at registration and route
     #: each scanned tuple through a per-(table, attribute)
@@ -230,6 +251,10 @@ class EngineConfig:
             raise AortaError(f"shards must be >= 1, got {self.shards}")
         if self.shard_quantum <= 0:
             raise AortaError("shard_quantum must be positive")
+        if self.parallel_backend not in PARALLEL_BACKENDS:
+            raise AortaError(
+                f"unknown parallel_backend {self.parallel_backend!r}; "
+                f"expected one of {PARALLEL_BACKENDS}")
 
     @property
     def synchronization(self) -> bool:

@@ -8,6 +8,7 @@ Everything is deterministic given the seeds — see
 ``tests/obs/golden.py`` for the golden-trace harness that exploits it.
 """
 
+from repro.obs.dump import diff_dumps, dump_engine
 from repro.obs.export import (
     metrics_to_json,
     metrics_to_text,
@@ -35,6 +36,8 @@ __all__ = [
     "NULL_OBS",
     "Observability",
     "SpanContext",
+    "diff_dumps",
+    "dump_engine",
     "metric_key",
     "metrics_to_json",
     "metrics_to_text",

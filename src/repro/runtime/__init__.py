@@ -22,7 +22,13 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import SimulationError
-from repro.runtime.fleet import run_lockstep
+from repro.runtime.fleet import (
+    RoundBudgetError,
+    RoundPeer,
+    RoundResult,
+    run_lockstep,
+    run_parallel_rounds,
+)
 from repro.runtime.protocol import Runtime
 from repro.sim import Environment, RealtimeRuntime
 
@@ -61,5 +67,9 @@ __all__ = [
     "Runtime",
     "VirtualRuntime",
     "create_runtime",
+    "RoundBudgetError",
+    "RoundPeer",
+    "RoundResult",
     "run_lockstep",
+    "run_parallel_rounds",
 ]

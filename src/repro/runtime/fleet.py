@@ -5,22 +5,126 @@ device sets, so their event streams never interact directly — but
 fleet-level state (the shared capacity ledger, merged statistics read
 mid-run) is sampled across shard clocks, and letting one shard race
 hours ahead of another would make those reads meaningless. The
-lockstep runner bounds the skew: it advances every runtime in rounds
-of at most ``quantum`` runtime seconds, so no shard's clock is ever
-more than one quantum ahead of the slowest.
+round-barrier loops here bound the skew: every runtime advances in
+rounds of at most ``quantum`` runtime seconds, so no shard's clock is
+ever more than one quantum ahead of the slowest.
 
-Each per-runtime ``run`` call inside a round carries the caller's
-``max_events`` as a watchdog: a runaway process on one shard raises
-:class:`~repro.errors.SimulationError` with queue diagnostics instead
-of stalling the whole fleet silently.
+Two loops share the round semantics:
+
+* :func:`run_lockstep` steps local runtimes sequentially on the
+  calling thread (the serial coordinator path);
+* :func:`run_parallel_rounds` drives :class:`RoundPeer` workers —
+  remote engines that run their rounds concurrently — with an explicit
+  barrier per round: broadcast the deadline, then collect every
+  worker's result *in peer order* before opening the next round, so
+  completion merges never depend on arrival order.
+
+``max_events`` is a **fleet-wide cumulative budget**: the events every
+shard consumes in every round count against one shared allowance, and
+exhausting it raises :class:`~repro.errors.SimulationError` carrying
+per-shard queue diagnostics instead of stalling silently. (It used to
+be a per-call watchdog, which let a fleet process ``rounds x shards x
+max_events`` events before firing.) The budget only fires when due
+work remains: a run that consumes exactly its allowance and quiesces
+is not an error. In the parallel loop every worker of one round is
+handed the full remaining budget — concurrent rounds cannot thread a
+sequentially decremented allowance — so a runaway fleet may overshoot
+by up to ``(shards - 1) x remaining`` events before the barrier
+notices; it is a watchdog bound, not an exact meter.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.runtime.protocol import Runtime
+
+
+@dataclass
+class RoundResult:
+    """What one shard reports back from one lockstep round."""
+
+    #: The shard's clock after the round (== the round deadline).
+    now: float
+    #: Events the shard processed during the round.
+    events: int
+    #: Wall-clock seconds the shard spent computing the round.
+    busy_seconds: float = 0.0
+    #: Events still pending in the shard's queue after the round.
+    pending: int = 0
+
+
+class RoundBudgetError(SimulationError):
+    """A shard exhausted its event allowance inside one round.
+
+    Raised by a :class:`RoundPeer`'s ``finish_round`` so the barrier
+    loop can tell budget exhaustion (aggregate into a fleet-wide
+    diagnostic) from other simulation errors (propagate as-is). Carries
+    the shard's state at the moment the watchdog fired.
+    """
+
+    def __init__(self, message: str, *, now: float = 0.0,
+                 events: int = 0, pending: int = 0) -> None:
+        super().__init__(message)
+        self.now = now
+        self.events = events
+        self.pending = pending
+
+
+class RoundPeer(Protocol):
+    """A shard the parallel barrier loop can drive through rounds.
+
+    ``begin_round`` must only *submit* the round (non-blocking), so the
+    loop can start every peer before waiting on any; ``finish_round``
+    blocks until that peer's round completes and either returns its
+    :class:`RoundResult` or raises (:class:`RoundBudgetError` for an
+    exhausted event allowance, anything else for a real failure).
+    """
+
+    def now(self) -> float:
+        """The peer's current runtime clock."""
+        ...
+
+    def begin_round(self, deadline: float,
+                    max_events: Optional[int]) -> None:
+        """Submit one round without waiting for it."""
+        ...
+
+    def finish_round(self) -> RoundResult:
+        """Block until the submitted round completes."""
+        ...
+
+
+def _validate(quantum: float, count: int, until: float,
+              floor: float) -> None:
+    if quantum <= 0:
+        raise SimulationError(f"lockstep quantum must be positive, "
+                              f"got {quantum}")
+    if not count:
+        raise SimulationError("a lockstep fleet needs at least one "
+                              "runtime")
+    if until < floor:
+        raise SimulationError(
+            f"cannot run lockstep to t={until}: a runtime is already "
+            f"at t={floor}")
+
+
+def _budget_exhausted(
+    budget: int,
+    shard_states: Sequence[Tuple[float, int]],
+) -> SimulationError:
+    """The fleet-wide watchdog error, with per-shard queue diagnostics."""
+    queues = ", ".join(
+        f"shard {index}: t={now:.6f} pending={pending}"
+        for index, (now, pending) in enumerate(shard_states))
+    return SimulationError(
+        f"fleet event budget exhausted: max_events={budget} consumed "
+        f"across lockstep rounds with work still due ({queues}); a "
+        f"shard is likely scheduling events faster than it completes "
+        f"them")
 
 
 def run_lockstep(
@@ -36,22 +140,101 @@ def run_lockstep(
     schedule is deterministic. A runtime already past the round's
     deadline (because a previous coordinated run advanced it further)
     is skipped for that round — ``run`` with a non-decreasing deadline
-    is the only call ever issued. Returns ``until``.
+    is the only call ever issued. ``max_events`` is the fleet-wide
+    cumulative budget described in the module docstring. Returns
+    ``until``.
     """
-    if quantum <= 0:
-        raise SimulationError(f"lockstep quantum must be positive, "
-                              f"got {quantum}")
-    if not runtimes:
-        raise SimulationError("run_lockstep needs at least one runtime")
-    floor = min(runtime.now for runtime in runtimes)
-    if until < floor:
-        raise SimulationError(
-            f"cannot run lockstep to t={until}: a runtime is already "
-            f"at t={floor}")
-    deadline = floor
+    _validate(quantum, len(runtimes), until,
+              min(runtime.now for runtime in runtimes)
+              if runtimes else until)
+    deadline = min(runtime.now for runtime in runtimes)
+    remaining = max_events
     while deadline < until:
         deadline = min(deadline + quantum, until)
         for runtime in runtimes:
-            if runtime.now <= deadline:
-                runtime.run(until=deadline, max_events=max_events)
+            if runtime.now > deadline:
+                continue
+            before = runtime.events_processed
+            try:
+                runtime.run(until=deadline, max_events=remaining)
+            except SimulationError as error:
+                used = runtime.events_processed - before
+                if remaining is not None and used >= remaining:
+                    assert max_events is not None
+                    raise _budget_exhausted(
+                        max_events,
+                        [(peer.now, peer.pending_events)
+                         for peer in runtimes]) from error
+                raise
+            if remaining is not None:
+                remaining -= runtime.events_processed - before
+    return until
+
+
+#: Observer invoked after each successful parallel round with
+#: ``(deadline, wall_seconds, results)`` — the hook the coordinator
+#: uses for per-round wall-clock metrics and barrier-wait accounting.
+RoundObserver = Callable[[float, float, List[RoundResult]], None]
+
+
+def run_parallel_rounds(
+    peers: Sequence[RoundPeer],
+    until: float,
+    *,
+    quantum: float = 1.0,
+    max_events: Optional[int] = None,
+    on_round: Optional[RoundObserver] = None,
+) -> float:
+    """Advance every peer to ``until``, one barriered round at a time.
+
+    Mirrors :func:`run_lockstep` exactly — same floor, same
+    ``min(deadline + quantum, until)`` round deadlines, same
+    skip-if-ahead rule (peers self-gate), same cumulative
+    ``max_events`` budget — except that the peers compute their rounds
+    concurrently. Determinism rule: results are collected in **peer
+    order**, never arrival order, so everything downstream of the
+    barrier (budget accounting, completion merges, metrics) is
+    independent of scheduling noise.
+
+    If any peer fails mid-round, the loop still drains every other
+    peer's reply (keeping the pipes in lockstep for teardown), then
+    raises for the lowest-indexed failure; budget exhaustion aggregates
+    all peers into one fleet-wide diagnostic. Returns ``until``.
+    """
+    _validate(quantum, len(peers), until,
+              min(peer.now() for peer in peers) if peers else until)
+    deadline = min(peer.now() for peer in peers)
+    remaining = max_events
+    while deadline < until:
+        deadline = min(deadline + quantum, until)
+        started = time.perf_counter()
+        for peer in peers:
+            peer.begin_round(deadline, remaining)
+        results: List[Optional[RoundResult]] = []
+        failures: List[Tuple[int, BaseException]] = []
+        for index, peer in enumerate(peers):
+            try:
+                results.append(peer.finish_round())
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                results.append(None)
+                failures.append((index, error))
+        wall_seconds = time.perf_counter() - started
+        if failures:
+            exhausted = {index: error for index, error in failures
+                         if isinstance(error, RoundBudgetError)}
+            if len(exhausted) == len(failures) and max_events is not None:
+                states = [
+                    (result.now, result.pending) if result is not None
+                    else (exhausted[index].now, exhausted[index].pending)
+                    for index, result in enumerate(results)
+                ]
+                raise _budget_exhausted(max_events, states)
+            failures.sort(key=lambda pair: pair[0])
+            raise failures[0][1]
+        done = [result for result in results if result is not None]
+        if remaining is not None:
+            remaining = max(0, remaining
+                            - sum(result.events for result in done))
+        if on_round is not None:
+            on_round(deadline, wall_seconds, done)
     return until

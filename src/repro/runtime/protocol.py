@@ -73,3 +73,8 @@ class Runtime(Protocol):
     def pending_events(self) -> int:
         """Number of events still waiting in the queue."""
         ...
+
+    @property
+    def events_processed(self) -> int:
+        """Total events processed over this runtime's lifetime."""
+        ...

@@ -12,9 +12,15 @@ Enable with ``EngineConfig(shards=N)``::
     from repro.shard import ShardedEngine
 
     fleet = ShardedEngine(config=EngineConfig(shards=8), seed=0)
+
+True parallel execution (``EngineConfig(parallel=True)``) moves each
+shard into its own worker process or thread — see
+:mod:`repro.shard.parallel`; device factories must then be picklable,
+which :class:`DeviceSpec` makes easy.
 """
 
 from repro.shard.coordinator import DeviceFactory, ShardedEngine
+from repro.shard.parallel import DeviceSpec, ParallelFleet, ShardWorker
 from repro.shard.placement import (
     HashPlacement,
     PlacementPolicy,
@@ -23,8 +29,11 @@ from repro.shard.placement import (
 
 __all__ = [
     "DeviceFactory",
+    "DeviceSpec",
     "HashPlacement",
+    "ParallelFleet",
     "PlacementPolicy",
     "RegionPlacement",
+    "ShardWorker",
     "ShardedEngine",
 ]

@@ -33,6 +33,17 @@ The 1-shard fleet is a pure pass-through: every operation delegates to
 the single inner engine, whose construction is byte-identical to a
 plain ``AortaEngine`` (same raw seed, same config) — the equivalence
 suite in ``tests/shard`` pins this with golden traces.
+
+**Parallel execution** (``EngineConfig(parallel=True)`` or
+``ShardedEngine(..., parallel=True)``): each shard's engine moves into
+its own worker (:mod:`repro.shard.parallel`) and lockstep rounds run
+concurrently between deterministic barriers. The facade is unchanged —
+routing, placement and aggregation still live here — but per-shard
+*objects* (``fleet.shard(i)``, ``fleet.device(...)``) are unreachable
+from the coordinator process; per-shard *data* flows through
+``shard_statistics()`` / ``shard_dumps()`` / ``metrics()`` instead.
+Parallel mode is opt-in, forced off on 1-shard fleets, and the off
+path is byte-identical to serial lockstep (benchmark-gated).
 """
 
 from __future__ import annotations
@@ -49,6 +60,7 @@ from repro.devices.base import Device
 from repro.obs.metrics import MetricsRegistry
 from repro.runtime import Runtime
 from repro.runtime.fleet import run_lockstep
+from repro.shard.parallel import ParallelFleet
 from repro.shard.placement import HashPlacement, PlacementPolicy
 from repro.sim.rng import derive_seed
 
@@ -72,6 +84,67 @@ _MEAN_KEYS = frozenset({"mean_recovery_seconds"})
 _MAX_DICT_KEYS = frozenset({"overload_peak_queue_depth"})
 
 
+def _aggregate_statistics(snapshots: List[Dict[str, Any]],
+                          shards: int) -> Dict[str, Any]:
+    """Fold per-shard statistics snapshots into one fleet dict.
+
+    Shared by the serial and parallel paths (parallel snapshots arrive
+    over worker pipes, serial ones from the inner engines — the
+    arithmetic must not care). Numeric values sum, except clocks/levels
+    (max) and ``mean_*`` keys (unweighted mean); booleans OR; dict
+    values merge per entry (sum, except peak depths which take the
+    max).
+    """
+    fleet: Dict[str, Any] = {"shards": shards}
+    counts: Dict[str, int] = {}
+    for snapshot in snapshots:
+        for key, value in snapshot.items():
+            counts[key] = counts.get(key, 0) + 1
+            if isinstance(value, dict):
+                bucket = fleet.setdefault(key, {})
+                combine = max if key in _MAX_DICT_KEYS else \
+                    (lambda a, b: a + b)
+                for entry, amount in value.items():
+                    bucket[entry] = combine(bucket[entry], amount) \
+                        if entry in bucket else amount
+            elif isinstance(value, bool):
+                fleet[key] = fleet.get(key, False) or value
+            elif key in _MAX_KEYS:
+                fleet[key] = max(fleet.get(key, value), value)
+            else:
+                fleet[key] = fleet.get(key, 0) + value
+    for key in _MEAN_KEYS:
+        if key in fleet:
+            fleet[key] = fleet[key] / counts[key]
+    return fleet
+
+
+def _merge_query_reports(
+        reports: List[List[Dict[str, Any]]]) -> List[Dict[str, Any]]:
+    """Merge per-shard query reports by query name (AQ fan-out).
+
+    Counters sum, a query is ``enabled`` if any shard has it enabled,
+    and descriptive fields come from the first shard reporting the
+    query. Order follows shard 0's registration order, with queries
+    seen only on later shards appended in encounter order.
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    counter_keys = ("events_detected", "requests_emitted",
+                    "requests_rejected", "uncovered_events")
+    for report in reports:
+        for entry in report:
+            name = entry["name"]
+            fleet_entry = merged.get(name)
+            if fleet_entry is None:
+                merged[name] = dict(entry)
+                continue
+            for key in counter_keys:
+                fleet_entry[key] += entry[key]
+            if entry["state"] == "enabled":
+                fleet_entry["state"] = "enabled"
+    return list(merged.values())
+
+
 class ShardedEngine:
     """N engine shards behind one engine-shaped facade.
 
@@ -93,8 +166,16 @@ class ShardedEngine:
         config: Optional[EngineConfig] = None,
         placement: Optional[PlacementPolicy] = None,
         seed: int = 0,
+        parallel: Optional[bool] = None,
+        parallel_backend: Optional[str] = None,
     ) -> None:
         self.config = config or EngineConfig()
+        if parallel is not None and parallel != self.config.parallel:
+            self.config = replace(self.config, parallel=parallel)
+        if parallel_backend is not None \
+                and parallel_backend != self.config.parallel_backend:
+            self.config = replace(self.config,
+                                  parallel_backend=parallel_backend)
         n = self.config.shards
         self.placement: PlacementPolicy = (
             placement if placement is not None else HashPlacement(n))
@@ -103,19 +184,33 @@ class ShardedEngine:
                 f"placement covers {self.placement.n_shards} shard(s) "
                 f"but config.shards is {n}")
         self.seed = seed
-        shard_config = replace(self.config, shards=1)
-        #: The inner engines, one per shard. The 1-shard fleet reuses
-        #: the raw master seed so it is byte-identical to a plain
-        #: engine; a multi-shard fleet gives each shard an independent
-        #: derived substream.
-        self.shards: List[AortaEngine] = [
-            AortaEngine(
-                config=shard_config,
-                seed=seed if n == 1 else derive_seed(seed, f"shard:{i}"))
-            for i in range(n)
-        ]
-        if self.config.overload and n > 1:
-            self._share_capacity_ledger()
+        #: Whether this fleet runs shards in parallel workers. Forced
+        #: off on 1-shard fleets: the pass-through path must stay
+        #: byte-identical to a plain engine, and one shard has nothing
+        #: to parallelize.
+        self.parallel: bool = self.config.parallel and n > 1
+        #: The worker fleet when parallel, else ``None`` — every facade
+        #: method branches on it.
+        self._fleet: Optional[ParallelFleet] = None
+        #: The inner engines, one per shard (serial mode; empty when
+        #: parallel — the engines live inside the workers). The 1-shard
+        #: fleet reuses the raw master seed so it is byte-identical to
+        #: a plain engine; a multi-shard fleet gives each shard an
+        #: independent derived substream.
+        self.shards: List[AortaEngine] = []
+        if self.parallel:
+            self._fleet = ParallelFleet(config=self.config, seed=seed)
+        else:
+            shard_config = replace(self.config, shards=1, parallel=False)
+            self.shards = [
+                AortaEngine(
+                    config=shard_config,
+                    seed=seed if n == 1
+                    else derive_seed(seed, f"shard:{i}"))
+                for i in range(n)
+            ]
+            if self.config.overload and n > 1:
+                self._share_capacity_ledger()
         self._started = False
 
     def _share_capacity_ledger(self) -> None:
@@ -135,10 +230,16 @@ class ShardedEngine:
     # ------------------------------------------------------------------
     @property
     def n_shards(self) -> int:
-        return len(self.shards)
+        return self.config.shards
 
     def shard(self, index: int) -> AortaEngine:
-        """The shard at ``index``, bounds-checked."""
+        """The shard at ``index``, bounds-checked (serial mode only)."""
+        if self._fleet is not None:
+            raise ShardingError(
+                f"shard {index} runs in a "
+                f"{self.config.parallel_backend} worker on a parallel "
+                f"fleet; use shard_statistics()/shard_dumps()/metrics() "
+                f"for per-shard data")
         if not 0 <= index < len(self.shards):
             raise ShardingError(
                 f"no shard {index}; the fleet has shards "
@@ -152,15 +253,23 @@ class ShardedEngine:
     # ------------------------------------------------------------------
     # Devices
     # ------------------------------------------------------------------
-    def add_device(self, device_id: str, factory: DeviceFactory) -> Device:
+    def add_device(self, device_id: str,
+                   factory: DeviceFactory) -> Optional[Device]:
         """Admit one device to the shard its placement names.
 
         The factory receives the owning shard's runtime and must build
         a device with exactly ``device_id`` — a mismatch would strand
         the device on a shard routing will never look at, so it is
-        refused loudly.
+        refused loudly. On a parallel fleet the factory is replayed
+        inside the owning worker (it must pickle — see
+        :class:`~repro.shard.parallel.DeviceSpec`) and the built device
+        stays there: the return value is ``None``.
         """
-        shard = self.shards[self.placement.shard_of(device_id)]
+        index = self.placement.shard_of(device_id)
+        if self._fleet is not None:
+            self._fleet.add_device(index, device_id, factory)
+            return None
+        shard = self.shards[index]
         device = factory(shard.env)
         if device.device_id != device_id:
             raise ShardingError(
@@ -172,11 +281,20 @@ class ShardedEngine:
 
     def device(self, device_id: str) -> Device:
         """Look up an admitted device on its owning shard."""
+        if self._fleet is not None:
+            raise ShardingError(
+                f"device {device_id!r} lives inside shard "
+                f"{self.placement.shard_of(device_id)}'s worker on a "
+                f"parallel fleet; interact through inject()/submit()")
         shard = self.shards[self.placement.shard_of(device_id)]
         return shard.comm.registry.get(device_id)
 
     def inject(self, device_id: str, stimulus: Any) -> None:
         """Deliver a sensor stimulus to its owning shard's device."""
+        if self._fleet is not None:
+            self._fleet.inject(self.placement.shard_of(device_id),
+                               device_id, stimulus)
+            return
         device = self.device(device_id)
         inject = getattr(device, "inject", None)
         if inject is None:
@@ -209,7 +327,14 @@ class ShardedEngine:
                 f"{self.n_shards}-shard fleet run it against a single "
                 "shard (fleet.shard(i).execute(...))")
         if isinstance(statement, ExplainStatement):
+            if self._fleet is not None:
+                return self._fleet.execute_one(0, sql)
             return self.shards[0].execute_statement(statement)
+        if self._fleet is not None:
+            # Registration handles are worker-local and unpicklable;
+            # the fan-out forms return None on a parallel fleet.
+            self._fleet.execute_all(sql)
+            return None
         results = [shard.execute_statement(statement)
                    for shard in self.shards]
         return None if all(result is None for result in results) else results
@@ -226,6 +351,12 @@ class ShardedEngine:
         if self.n_shards == 1:
             return self.shards[0].create_aq(
                 sql, priority=priority, deadline_seconds=deadline_seconds)
+        if self._fleet is not None:
+            # Workers apply the same all-or-nothing rollback; the
+            # registration handles stay worker-local (returns None).
+            self._fleet.create_aq(sql, priority=priority,
+                                  deadline_seconds=deadline_seconds)
+            return None
         registered = []
         try:
             for shard in self.shards:
@@ -240,13 +371,25 @@ class ShardedEngine:
 
     def install_action_code(self, library_path: str,
                             implementation: Any) -> None:
-        """Install a CREATE ACTION executable on every shard."""
+        """Install a CREATE ACTION executable on every shard.
+
+        On a parallel fleet the implementation crosses worker pipes, so
+        it must be a picklable callable (a module-level function, not a
+        closure).
+        """
+        if self._fleet is not None:
+            self._fleet.install_action_code(library_path, implementation)
+            return
         for shard in self.shards:
             shard.install_action_code(library_path, implementation)
 
     def install_action_profile(self, profile_path: str, profile: Any,
                                resolver: Any, **kwargs: Any) -> None:
         """Install a CREATE ACTION profile on every shard."""
+        if self._fleet is not None:
+            self._fleet.install_action_profile(profile_path, profile,
+                                               resolver, kwargs)
+            return
         for shard in self.shards:
             shard.install_action_profile(profile_path, profile, resolver,
                                          **kwargs)
@@ -284,8 +427,14 @@ class ShardedEngine:
         mark it REJECTED (same contract as ``Dispatcher.submit``).
         """
         index, owned = self.route(request)
-        shard = self.shards[index]
         request.candidates = owned
+        if self._fleet is not None:
+            # The request is pickled into the worker; this process's
+            # copy stays inert and completions flow back through
+            # completed_requests.
+            self._fleet.submit(index, request)
+            return index
+        shard = self.shards[index]
         operator = shard.dispatcher.operator_for(
             shard.actions.get(request.action_name))
         shard.dispatcher.submit(operator, request)
@@ -308,6 +457,9 @@ class ShardedEngine:
         if self._started:
             raise ShardingError("fleet already started")
         self._started = True
+        if self._fleet is not None:
+            self._fleet.start_all()
+            return
         for shard in self.shards:
             shard.start()
 
@@ -318,12 +470,17 @@ class ShardedEngine:
         One shard delegates to the inner engine's ``run`` (identical
         call pattern to a plain engine, keeping traces byte-identical).
         Multiple shards advance in lockstep rounds of
-        ``config.shard_quantum`` runtime seconds, with per-shard
-        ``engine.run`` spans wrapping the whole coordinated run and
-        ``max_events`` applied per shard per round as a watchdog.
+        ``config.shard_quantum`` runtime seconds — concurrently across
+        workers when parallel, sequentially on this thread when not —
+        with per-shard ``engine.run`` spans wrapping the whole
+        coordinated run and ``max_events`` as one fleet-wide cumulative
+        event budget across all rounds and shards.
         """
         if self.n_shards == 1:
             return self.shards[0].run(until, max_events)
+        if self._fleet is not None:
+            return self._fleet.run(until, max_events,
+                                   quantum=self.config.shard_quantum)
         with ExitStack() as stack:
             for shard in self.shards:
                 stack.enter_context(shard.obs.span("engine.run"))
@@ -367,11 +524,25 @@ class ShardedEngine:
         One shard returns the engine's own completion log (same list
         object). Multiple shards merge by completion time, breaking
         ties by request id, so the order is independent of shard
-        enumeration order.
+        enumeration order. On a parallel fleet the requests are copies
+        shipped back from the workers, with the owning shard index as a
+        final tiebreak (worker-local auto ids can collide across
+        shards).
         """
         if self.n_shards == 1:
             return self.shards[0].completed_requests
         merged: List[ActionRequest] = []
+        if self._fleet is not None:
+            keys: Dict[int, Tuple[Any, ...]] = {}
+            for index, batch in enumerate(self._fleet.completed_all()):
+                for request in batch:
+                    keys[id(request)] = (
+                        request.completed_at
+                        if request.completed_at is not None
+                        else float("inf"), request.request_id, index)
+                merged.extend(batch)
+            merged.sort(key=lambda request: keys[id(request)])
+            return merged
         for shard in self.shards:
             merged.extend(shard.completed_requests)
         merged.sort(key=lambda request: (
@@ -382,6 +553,10 @@ class ShardedEngine:
     def device_report(self) -> Dict[str, Dict[str, Any]]:
         """Per-device utilization across the fleet (disjoint union)."""
         report: Dict[str, Dict[str, Any]] = {}
+        if self._fleet is not None:
+            for shard_report in self._fleet.device_reports():
+                report.update(shard_report)
+            return report
         for shard in self.shards:
             report.update(shard.device_report())
         return report
@@ -399,32 +574,13 @@ class ShardedEngine:
         """
         if self.n_shards == 1:
             return self.shards[0].statistics()
-        snapshots = self.shard_statistics()
-        fleet: Dict[str, Any] = {"shards": self.n_shards}
-        counts: Dict[str, int] = {}
-        for snapshot in snapshots:
-            for key, value in snapshot.items():
-                counts[key] = counts.get(key, 0) + 1
-                if isinstance(value, dict):
-                    bucket = fleet.setdefault(key, {})
-                    combine = max if key in _MAX_DICT_KEYS else \
-                        (lambda a, b: a + b)
-                    for entry, amount in value.items():
-                        bucket[entry] = combine(bucket[entry], amount) \
-                            if entry in bucket else amount
-                elif isinstance(value, bool):
-                    fleet[key] = fleet.get(key, False) or value
-                elif key in _MAX_KEYS:
-                    fleet[key] = max(fleet.get(key, value), value)
-                else:
-                    fleet[key] = fleet.get(key, 0) + value
-        for key in _MEAN_KEYS:
-            if key in fleet:
-                fleet[key] = fleet[key] / counts[key]
-        return fleet
+        return _aggregate_statistics(self.shard_statistics(),
+                                     self.n_shards)
 
     def shard_statistics(self) -> List[Dict[str, Any]]:
         """Each shard's own statistics dict, in shard order."""
+        if self._fleet is not None:
+            return self._fleet.statistics_all()
         return [shard.statistics() for shard in self.shards]
 
     def query_report(self) -> List[Dict[str, Any]]:
@@ -440,32 +596,29 @@ class ShardedEngine:
         """
         if self.n_shards == 1:
             return self.shards[0].query_report()
-        merged: Dict[str, Dict[str, Any]] = {}
-        counter_keys = ("events_detected", "requests_emitted",
-                        "requests_rejected", "uncovered_events")
-        for shard in self.shards:
-            for entry in shard.query_report():
-                name = entry["name"]
-                fleet_entry = merged.get(name)
-                if fleet_entry is None:
-                    merged[name] = dict(entry)
-                    continue
-                for key in counter_keys:
-                    fleet_entry[key] += entry[key]
-                if entry["state"] == "enabled":
-                    fleet_entry["state"] = "enabled"
-        return list(merged.values())
+        if self._fleet is not None:
+            return _merge_query_reports(self._fleet.query_reports())
+        return _merge_query_reports(
+            [shard.query_report() for shard in self.shards])
 
     def metrics(self) -> Dict[str, Any]:
         """The fleet metric snapshot, merged without shard labels.
 
         Equals the plain engine's snapshot on a 1-shard fleet; on
         larger fleets, equal-name series from different shards fold
-        together (counters/histograms add, gauges max).
+        together (counters/histograms add, gauges max). A parallel
+        fleet additionally folds in the coordinator's ``shard.round.*``
+        wall-clock series (round count, per-round and per-shard
+        busy/barrier-wait time).
         """
         if self.n_shards == 1:
             return self.shards[0].metrics()
         merged = MetricsRegistry()
+        if self._fleet is not None:
+            for registry in self._fleet.registries():
+                merged.merge(registry)
+            merged.merge(self._fleet.round_registry)
+            return merged.snapshot()
         for shard in self.shards:
             merged.merge(shard.obs.registry)
         return merged.snapshot()
@@ -475,9 +628,60 @@ class ShardedEngine:
 
         Per-shard registries stay unlabeled (pinning 1-shard golden
         identity); labels are stamped onto copies at render time, so
-        the merged snapshot keeps one distinct series per shard.
+        the merged snapshot keeps one distinct series per shard. The
+        parallel round registry merges as-is — its per-shard series
+        already carry shard labels.
         """
         merged = MetricsRegistry()
+        if self._fleet is not None:
+            for index, registry in enumerate(self._fleet.registries()):
+                merged.merge(registry.relabeled(shard=index))
+            merged.merge(self._fleet.round_registry)
+            return merged.snapshot()
         for index, shard in enumerate(self.shards):
             merged.merge(shard.obs.registry.relabeled(shard=index))
         return merged.snapshot()
+
+    def shard_dumps(self) -> List[Dict[str, Any]]:
+        """Normalized per-shard dumps, in shard order.
+
+        The reproducibility surface shared by both execution modes: a
+        serial fleet dumps its inner engines here, a parallel fleet
+        fans the ``dump`` command out to its workers (each dumps its
+        own engine in-process). The sharding benchmark gates
+        ``parallel == serial`` on exactly this value.
+        """
+        from repro.obs.dump import dump_engine
+        if self._fleet is not None:
+            return self._fleet.dumps()
+        return [dump_engine(shard) for shard in self.shards]
+
+    def round_breakdown(self) -> Optional[Dict[str, Any]]:
+        """Per-shard busy/barrier-wait wall-clock totals, or ``None``.
+
+        Only a parallel fleet has barriers to account for; the serial
+        coordinator returns ``None``.
+        """
+        if self._fleet is None:
+            return None
+        return self._fleet.round_breakdown()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release worker processes and the ledger service.
+
+        A no-op on serial fleets (and safe to call repeatedly):
+        everything lives in this process and the garbage collector owns
+        it. Parallel fleets must be closed — or used as a context
+        manager — so worker processes never outlive the run.
+        """
+        if self._fleet is not None:
+            self._fleet.close()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

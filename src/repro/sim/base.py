@@ -41,6 +41,7 @@ class BaseRuntime:
     def __init__(self, start: float = 0.0) -> None:
         self._clock = VirtualClock(start)
         self._queue = EventQueue()
+        self._events_processed = 0
 
     @property
     def now(self) -> float:
@@ -85,6 +86,7 @@ class BaseRuntime:
         item = self._queue.pop()
         self._pace(item.time)
         self._clock.advance_to(item.time)
+        self._events_processed += 1
         event = item.event
         event._processed = True
         callbacks, event.callbacks = event.callbacks, []
@@ -138,6 +140,17 @@ class BaseRuntime:
     def pending_events(self) -> int:
         """Number of events still waiting in the queue."""
         return len(self._queue)
+
+    @property
+    def events_processed(self) -> int:
+        """Total events processed since construction.
+
+        A monotone lifetime counter: callers that need the cost of one
+        ``run`` call (e.g. the lockstep fleet budget) difference it
+        around the call instead of threading a count through ``run``'s
+        return value.
+        """
+        return self._events_processed
 
     def _pending_summary(self, limit: int = 3) -> str:
         """The next few pending events, rendered for error messages."""

@@ -1,0 +1,212 @@
+"""The round loops: cumulative budgets and the parallel barrier.
+
+``run_lockstep``'s fleet-wide ``max_events`` semantics are pinned here
+(it used to be a per-call watchdog, letting a runaway fleet process
+``rounds x shards x max_events`` events before firing), alongside
+fake-peer tests of ``run_parallel_rounds``: peer-order result
+collection, budget threading, failure aggregation and propagation.
+"""
+
+from typing import List, Optional
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime import (
+    RoundBudgetError,
+    RoundResult,
+    VirtualRuntime,
+    run_lockstep,
+    run_parallel_rounds,
+)
+
+
+# ----------------------------------------------------------------------
+# run_lockstep: the cumulative fleet-wide event budget
+# ----------------------------------------------------------------------
+def ticking_runtime(period: float = 1.0,
+                    ticks: Optional[int] = None) -> VirtualRuntime:
+    """A runtime with one recurring timer (1 event per period)."""
+    runtime = VirtualRuntime()
+
+    def clock(env):
+        fired = 0
+        while ticks is None or fired < ticks:
+            yield env.timeout(period)
+            fired += 1
+
+    runtime.process(clock(runtime))
+    return runtime
+
+
+def test_lockstep_budget_is_cumulative_across_rounds():
+    # One event per 1.0s round: per-call semantics would never trip a
+    # budget of 5 (each round consumes 1 of a fresh 5); the cumulative
+    # budget must fire before t=10.
+    runtime = ticking_runtime(period=1.0)
+    with pytest.raises(SimulationError,
+                       match="fleet event budget exhausted"):
+        run_lockstep([runtime], 10.0, quantum=1.0, max_events=5)
+
+
+def test_lockstep_budget_is_shared_across_shards():
+    # Two shards ticking in step: the fleet consumes 2 events per
+    # round, so a budget of 7 dies mid-flight even though each shard
+    # alone would fit.
+    fleet = [ticking_runtime(period=1.0), ticking_runtime(period=1.0)]
+    with pytest.raises(SimulationError,
+                       match="fleet event budget exhausted"):
+        run_lockstep(fleet, 10.0, quantum=1.0, max_events=7)
+
+
+def test_lockstep_budget_error_carries_per_shard_diagnostics():
+    fleet = [ticking_runtime(period=1.0), ticking_runtime(period=0.5)]
+    with pytest.raises(SimulationError) as excinfo:
+        run_lockstep(fleet, 10.0, quantum=1.0, max_events=4)
+    message = str(excinfo.value)
+    assert "max_events=4" in message
+    assert "shard 0:" in message and "shard 1:" in message
+    assert "pending=" in message
+
+
+def test_lockstep_exact_budget_with_quiescent_fleet_succeeds():
+    # Measure the workload's true event count, then grant exactly that
+    # many: the budget only fires when due work remains, so consuming
+    # the full allowance and quiescing is not an error.
+    probe = ticking_runtime(period=1.0, ticks=3)
+    run_lockstep([probe], 10.0, quantum=2.0)
+    total = probe.events_processed
+
+    exact = ticking_runtime(period=1.0, ticks=3)
+    assert run_lockstep([exact], 10.0, quantum=2.0,
+                        max_events=total) == 10.0
+    assert exact.events_processed == total
+
+    starved = ticking_runtime(period=1.0, ticks=3)
+    with pytest.raises(SimulationError,
+                       match="fleet event budget exhausted"):
+        run_lockstep([starved], 10.0, quantum=2.0, max_events=total - 1)
+
+
+# ----------------------------------------------------------------------
+# run_parallel_rounds: fake peers
+# ----------------------------------------------------------------------
+class FakePeer:
+    """A scripted RoundPeer advancing ``events_per_round`` per round."""
+
+    def __init__(self, index: int, log: List[str],
+                 events_per_round: int = 1,
+                 fail_with: Optional[BaseException] = None,
+                 fail_at_round: int = 1) -> None:
+        self.index = index
+        self.log = log
+        self.events_per_round = events_per_round
+        self.fail_with = fail_with
+        self.fail_at_round = fail_at_round
+        self.rounds = 0
+        self.budgets: List[Optional[int]] = []
+        self._now = 0.0
+        self._deadline = 0.0
+
+    def now(self) -> float:
+        return self._now
+
+    def begin_round(self, deadline: float,
+                    max_events: Optional[int]) -> None:
+        self.log.append(f"begin{self.index}")
+        self.budgets.append(max_events)
+        self._deadline = deadline
+
+    def finish_round(self) -> RoundResult:
+        self.log.append(f"finish{self.index}")
+        self.rounds += 1
+        if self.fail_with is not None and self.rounds >= self.fail_at_round:
+            raise self.fail_with
+        self._now = self._deadline
+        return RoundResult(now=self._now, events=self.events_per_round,
+                           busy_seconds=0.001, pending=1)
+
+
+def test_parallel_rounds_broadcast_then_collect_in_peer_order():
+    log: List[str] = []
+    peers = [FakePeer(i, log) for i in range(3)]
+    assert run_parallel_rounds(peers, 2.0, quantum=1.0) == 2.0
+    # Every round submits to all peers before collecting from any, and
+    # collection order is peer order regardless of completion order.
+    assert log == ["begin0", "begin1", "begin2",
+                   "finish0", "finish1", "finish2"] * 2
+    assert all(peer.now() == 2.0 for peer in peers)
+
+
+def test_parallel_rounds_thread_the_remaining_budget():
+    log: List[str] = []
+    peers = [FakePeer(i, log, events_per_round=3) for i in range(2)]
+    run_parallel_rounds(peers, 3.0, quantum=1.0, max_events=100)
+    # Each round consumes 6 fleet-wide; every peer of a round is handed
+    # the full remaining allowance (concurrent rounds cannot thread a
+    # sequentially decremented budget).
+    assert peers[0].budgets == [100, 94, 88]
+    assert peers[1].budgets == [100, 94, 88]
+
+
+def test_parallel_rounds_aggregate_budget_exhaustion():
+    log: List[str] = []
+    peers = [
+        FakePeer(0, log, fail_with=RoundBudgetError(
+            "budget", now=0.5, events=7, pending=4)),
+        FakePeer(1, log),
+    ]
+    with pytest.raises(SimulationError,
+                       match="fleet event budget exhausted") as excinfo:
+        run_parallel_rounds(peers, 5.0, quantum=1.0, max_events=7)
+    message = str(excinfo.value)
+    # The diagnostic covers both the exhausted shard and the healthy
+    # one that finished its round.
+    assert "shard 0: t=0.500000 pending=4" in message
+    assert "shard 1: t=1.000000 pending=1" in message
+
+
+def test_parallel_rounds_propagate_the_lowest_indexed_failure():
+    log: List[str] = []
+    first, second = ValueError("shard 1 broke"), ValueError("shard 2 broke")
+    peers = [FakePeer(0, log),
+             FakePeer(1, log, fail_with=first),
+             FakePeer(2, log, fail_with=second)]
+    with pytest.raises(ValueError, match="shard 1 broke"):
+        run_parallel_rounds(peers, 5.0, quantum=1.0)
+    # The barrier still drained every peer's reply before raising.
+    assert log.count("finish2") == 1
+
+
+def test_parallel_rounds_mixed_failures_prefer_the_real_error():
+    # A budget error alongside a real failure is not fleet-wide budget
+    # exhaustion: the real (lowest-indexed) failure wins.
+    log: List[str] = []
+    peers = [FakePeer(0, log, fail_with=ValueError("broken")),
+             FakePeer(1, log, fail_with=RoundBudgetError("budget"))]
+    with pytest.raises(ValueError, match="broken"):
+        run_parallel_rounds(peers, 5.0, quantum=1.0, max_events=10)
+
+
+def test_parallel_rounds_invoke_the_round_observer():
+    observed: List[tuple] = []
+    log: List[str] = []
+    peers = [FakePeer(i, log, events_per_round=2) for i in range(2)]
+    run_parallel_rounds(
+        peers, 2.0, quantum=1.0,
+        on_round=lambda deadline, wall, results:
+        observed.append((deadline, len(results),
+                         sum(result.events for result in results))))
+    assert observed == [(1.0, 2, 4), (2.0, 2, 4)]
+
+
+def test_parallel_rounds_validate_like_lockstep():
+    log: List[str] = []
+    with pytest.raises(SimulationError, match="quantum"):
+        run_parallel_rounds([FakePeer(0, log)], 10.0, quantum=0.0)
+    with pytest.raises(SimulationError, match="at least one"):
+        run_parallel_rounds([], 10.0)
+    ahead = FakePeer(0, log)
+    ahead._now = 5.0
+    with pytest.raises(SimulationError, match="already at"):
+        run_parallel_rounds([ahead], 1.0)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro import (
+    DeviceSpec,
     PanTiltZoomCamera,
     Point,
     RegionPlacement,
@@ -151,7 +152,11 @@ def region_fleet_scenario(n_regions: int,
     ``shards`` defaults to ``n_regions`` (one region per shard); pass
     ``shards=1`` to run the identical workload on a single shard for
     serviced-set equivalence checks. Region devices are disjoint, so
-    the serviced set must not depend on the sharding.
+    the serviced set must not depend on the sharding. Device factories
+    are :class:`~repro.DeviceSpec` values, so the same builder drives
+    serial fleets and parallel ones (``parallel=True`` in
+    ``config_kwargs``) — parallel workers replay the specs over their
+    pipes.
     """
     n_shards = n_regions if shards is None else shards
     regions = region_layout(n_regions)
@@ -173,17 +178,14 @@ def region_fleet_scenario(n_regions: int,
         # shard owns every region: the serviced work must not depend on
         # the sharding.
         offset = 1000.0 * index
-        fleet.add_device(f"cam{tag}a", lambda env, tag=tag, offset=offset:
-                         PanTiltZoomCamera(env, f"cam{tag}a",
-                                           Point(offset, 0)))
-        fleet.add_device(f"cam{tag}b", lambda env, tag=tag, offset=offset:
-                         PanTiltZoomCamera(env, f"cam{tag}b",
-                                           Point(offset + 20, 0),
-                                           facing=180.0))
-        fleet.add_device(f"mote{tag}", lambda env, tag=tag, offset=offset:
-                         SensorMote(env, f"mote{tag}",
-                                    Point(offset + 5, 3),
-                                    noise_amplitude=0.0))
+        fleet.add_device(f"cam{tag}a", DeviceSpec(
+            PanTiltZoomCamera, f"cam{tag}a", Point(offset, 0)))
+        fleet.add_device(f"cam{tag}b", DeviceSpec(
+            PanTiltZoomCamera, f"cam{tag}b", Point(offset + 20, 0),
+            facing=180.0))
+        fleet.add_device(f"mote{tag}", DeviceSpec(
+            SensorMote, f"mote{tag}", Point(offset + 5, 3),
+            noise_amplitude=0.0))
     fleet.execute(FIGURE_1_AQ)
     for index in range(n_regions):
         fleet.inject(f"mote{index:02d}",
